@@ -1,0 +1,81 @@
+"""E4 / Figure 4: VARIMAX-rotated EOF of low-pass-filtered SST variability.
+
+The paper's Figure 4: a rotated EOF of 60-month low-passed SST explaining
+~15 % of filtered variance, correlating the North Atlantic and North
+Pacific, with a century time scale.  The full 500-year run is beyond a
+pure-Python session, so the bench exercises the identical pipeline on a
+synthetic SST record with a *known* embedded two-basin decadal mode plus
+realistic weather noise — verifying the pipeline finds the mode, assigns it
+the right variance share, and recovers its (long) time scale.  The same
+pipeline runs on genuine model output in examples/variability_eof.py.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.analysis import (
+    anomalies,
+    compute_eofs,
+    lowpass,
+    rotated_variance_fractions,
+    varimax,
+)
+
+
+def make_record(rng, nt=720, ny=24, nx=36):
+    """60 years of monthly SST anomalies with an embedded two-basin mode."""
+    lat = np.linspace(-70, 70, ny)[:, None] * np.ones((1, nx))
+    lon = np.linspace(0, 350, nx)[None, :] * np.ones((ny, 1))
+    # The two-basin pattern: same-signed lobes in N Atlantic and N Pacific.
+    natl = np.exp(-(((lat - 45) / 12) ** 2 + ((lon - 320) / 25) ** 2))
+    npac = np.exp(-(((lat - 42) / 12) ** 2 + ((lon - 180) / 30) ** 2))
+    pattern = natl + npac
+    t = np.arange(nt)
+    decadal = np.sin(2 * np.pi * t / 300.0)        # 25-year oscillation
+    record = 0.8 * decadal[:, None, None] * pattern[None]
+    record += 0.9 * rng.normal(size=(nt, ny, nx))  # weather noise
+    # A competing short-period tropical mode (ENSO-like).
+    enso = np.exp(-((lat / 8) ** 2 + ((lon - 230) / 40) ** 2))
+    record += 0.7 * np.sin(2 * np.pi * t / 48.0)[:, None, None] * enso[None]
+    return record, pattern, lat
+
+
+def analyze(record, lat):
+    nt = record.shape[0]
+    anoms = anomalies(record).reshape(nt, -1)
+    filt = lowpass(anoms, cutoff_steps=60, half_width=60)   # 60-month low-pass
+    w = np.cos(np.deg2rad(lat)).ravel()
+    w = w / w.sum()
+    res = compute_eofs(filt, n_modes=4, weights=w)
+    rotated, rot = varimax(res.patterns)
+    frac = rotated_variance_fractions(res.pcs, rot, np.sum(res.pcs**2)) \
+        * res.variance_fraction.sum()
+    pcs_rot = res.pcs @ rot
+    return res, rotated, frac, pcs_rot
+
+
+def test_figure4_two_basin_variability(benchmark, rng):
+    record, true_pattern, lat = make_record(rng)
+    res, rotated, frac, pcs_rot = benchmark(analyze, record, lat)
+
+    # Which rotated mode matches the embedded two-basin pattern?
+    w = np.cos(np.deg2rad(lat)).ravel()
+    target = (true_pattern.ravel() * np.sqrt(w / w.sum()))
+    target /= np.linalg.norm(target)
+    sims = [abs(float(np.dot(rotated[k] / np.linalg.norm(rotated[k]), target)))
+            for k in range(rotated.shape[0])]
+    k_best = int(np.argmax(sims))
+
+    series = pcs_rot[:, k_best]
+    lag12 = float(np.corrcoef(series[:-12], series[12:])[0, 1])
+
+    report("E4: Figure 4 — two-basin variability", [
+        ("rotated mode matches two-basin pattern", "yes", f"r = {sims[k_best]:.2f}"),
+        ("variance of 60-mo filtered SST explained", "~15 %",
+         f"{100 * frac[k_best]:.0f} %"),
+        ("time scale (12-month lag autocorr)", "long (decadal)",
+         f"{lag12:.2f}"),
+    ])
+    assert sims[k_best] > 0.85            # the pipeline isolates the mode
+    assert 0.05 < frac[k_best] < 0.65     # an O(15%) share of filtered variance
+    assert lag12 > 0.5                     # long time scale survives filtering

@@ -1,0 +1,26 @@
+"""Shared fixtures for the FOAM benchmark harness.
+
+Each ``bench_eN_*`` module regenerates one paper artifact (figure or
+quantitative claim); see DESIGN.md's experiment index.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks print their reproduction rows (paper value vs measured value);
+use ``-s`` to see them inline.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table (shown under -s; captured otherwise)."""
+    print(f"\n--- {title} ---")
+    print(f"{'quantity':44s} {'paper':>16s} {'measured':>16s}")
+    for name, paper, measured in rows:
+        print(f"{name:44s} {paper:>16s} {measured:>16s}")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Figure 4 workflow: two-basin decadal variability via VARIMAX-rotated EOFs.
+
+The paper ran FOAM for 500+ simulated years and found a VARIMAX-rotated EOF
+of 60-month low-pass filtered SST linking the North Atlantic and North
+Pacific, explaining ~15 % of the filtered variance.  A 500-year coupled run
+is outside a laptop demo, so this example applies the *identical analysis
+pipeline* (monthly means -> anomalies -> 60-month Lanczos low-pass ->
+area-weighted EOF -> VARIMAX) to SST from the coupled model's own ocean
+driven through many fast seasons, demonstrating every analysis stage on
+real model output and printing the Figure-4-style summary: leading rotated
+pattern, its variance share, and the basin loadings.
+
+Run:  python examples/variability_eof.py [--years N]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import (
+    anomalies,
+    compute_eofs,
+    lowpass,
+    rotated_variance_fractions,
+    varimax,
+)
+from repro.core import CoupledDiagnostics, FoamModel, test_config
+
+
+def basin_masks(model):
+    """North Atlantic and North Pacific boxes on the ocean grid."""
+    g = model.ocean_grid
+    lat = np.degrees(g.lats)[:, None] * np.ones((1, g.nx))
+    lon = np.degrees(g.lons)[None, :] * np.ones((g.ny, 1))
+    natl = (lat > 25) & (lat < 65) & (lon > 290) & (lon < 350) & model.ocean.mask2d
+    npac = (lat > 25) & (lat < 60) & (lon > 140) & (lon < 230) & model.ocean.mask2d
+    return natl, npac
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--years", type=float, default=1.0,
+                        help="simulated years of monthly SST to analyze")
+    args = parser.parse_args()
+
+    model = FoamModel(test_config())
+    state = model.initial_state()
+    diags = CoupledDiagnostics()
+
+    days = args.years * 360.0
+    print(f"running {days:.0f} simulated days for the SST record ...")
+    t0 = time.time()
+    # Sample SST every 10 days: 36 "months" per simulated year.
+    state = model.run_days(state, days, diagnostics=diags,
+                           sst_sample_interval=10 * 86400.0)
+    print(f"done in {time.time() - t0:.1f} s wall; "
+          f"{diags.sst_count} SST samples collected")
+
+    sst = np.array(diags.history_sst)                     # (t, ny, nx)
+    mask = model.ocean.mask2d
+    nt = sst.shape[0]
+    # Anomalies, then low-pass: with the short demo record we use a cutoff
+    # scaled to the record length (the paper used 60 months of 500 years).
+    anoms = anomalies(sst)
+    cutoff = max(4.0, nt / 6.0)
+    filtered = lowpass(anoms.reshape(nt, -1), cutoff_steps=cutoff,
+                       half_width=max(3, int(cutoff)))
+
+    weights = (model.ocean_grid.cell_areas() * mask).ravel()
+    weights = weights / weights.sum()
+    res = compute_eofs(filtered, n_modes=4, weights=weights)
+    rotated, rot = varimax(res.patterns)
+    total_var = np.sum(res.pcs**2)
+    frac = rotated_variance_fractions(res.pcs, rot, total_var) \
+        * res.variance_fraction.sum()
+
+    print("\n=== Figure 4 reproduction: VARIMAX-rotated EOF analysis ===")
+    for k in range(len(frac)):
+        print(f"rotated mode {k + 1}: {100 * frac[k]:5.1f} % of filtered variance")
+
+    lead = np.argmax(frac)
+    pattern = rotated[lead].reshape(mask.shape)
+    natl, npac = basin_masks(model)
+    l_na = np.abs(pattern[natl]).mean() if natl.any() else 0.0
+    l_np = np.abs(pattern[npac]).mean() if npac.any() else 0.0
+    l_all = np.abs(pattern[mask]).mean()
+    print(f"\nleading rotated mode ({100 * frac[lead]:.1f} % of variance):")
+    print(f"  mean |loading| North Atlantic: {l_na / max(l_all, 1e-12):.2f} x global")
+    print(f"  mean |loading| North Pacific:  {l_np / max(l_all, 1e-12):.2f} x global")
+    print("  (the paper's mode loads on BOTH northern basins simultaneously)")
+
+    pcs_rot = res.pcs @ rot
+    series = pcs_rot[:, lead]
+    print(f"\nassociated time series: {nt} samples, "
+          f"std = {series.std():.3f}, "
+          f"lag-1 autocorr = {np.corrcoef(series[:-1], series[1:])[0, 1]:.2f} "
+          "(high persistence = long time scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs on machines without `wheel`.
+
+The offline environment here lacks the `wheel` package, so PEP 660 editable
+installs (`pip install -e .`) cannot build; `python setup.py develop` works.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Climatology helpers: time means, anomalies, zonal statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def time_mean(snapshots: np.ndarray) -> np.ndarray:
+    """Mean along the leading (time) axis."""
+    x = np.asarray(snapshots, dtype=float)
+    if x.shape[0] == 0:
+        raise ValueError("no snapshots")
+    return x.mean(axis=0)
+
+
+def anomalies(snapshots: np.ndarray) -> np.ndarray:
+    """Deviation of each snapshot from the time mean."""
+    x = np.asarray(snapshots, dtype=float)
+    return x - x.mean(axis=0, keepdims=True)
+
+
+def zonal_mean(field: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+    """Longitude mean of (..., nlat, nlon), optionally over a mask."""
+    f = np.asarray(field, dtype=float)
+    if mask is None:
+        return f.mean(axis=-1)
+    m = np.asarray(mask, dtype=float)
+    return np.sum(f * m, axis=-1) / np.maximum(np.sum(m, axis=-1), 1e-12)
+
+
+def area_weights_from_lats(lats: np.ndarray, nlon: int) -> np.ndarray:
+    """(nlat*nlon,) flattened cos(lat) area weights for EOF analysis."""
+    w = np.cos(np.asarray(lats))[:, None] * np.ones((1, nlon))
+    return (w / w.sum()).ravel()

@@ -1,0 +1,93 @@
+"""Time filtering for climate series: the 60-month low-pass of Figure 4.
+
+A Lanczos (sinc * sigma-window) low-pass filter, the standard instrument for
+isolating decadal variability from monthly model output, plus a
+monthly-means helper and a detrend utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lanczos_lowpass_weights(cutoff_steps: float, half_width: int) -> np.ndarray:
+    """Symmetric Lanczos low-pass weights.
+
+    ``cutoff_steps``: period (in samples) below which variance is removed —
+    e.g. 60 for a 60-month cutoff on monthly data.  ``half_width``: the
+    filter half-length (total length 2*half_width + 1); larger = sharper.
+    """
+    if cutoff_steps <= 2:
+        raise ValueError("cutoff must exceed 2 samples (Nyquist)")
+    if half_width < 1:
+        raise ValueError("half_width must be >= 1")
+    fc = 1.0 / cutoff_steps
+    k = np.arange(-half_width, half_width + 1, dtype=float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        w = np.where(k == 0, 2.0 * fc, np.sin(2 * np.pi * fc * k) / (np.pi * k))
+        sigma = np.where(k == 0, 1.0,
+                         np.sin(np.pi * k / half_width) / (np.pi * k / half_width))
+    w = w * sigma
+    return w / w.sum()
+
+
+def lowpass(series: np.ndarray, cutoff_steps: float,
+            half_width: int | None = None) -> np.ndarray:
+    """Low-pass filter along axis 0, reflecting at the ends.
+
+    Works for 1-D series or (time, space) arrays.
+    """
+    x = np.asarray(series, dtype=float)
+    if half_width is None:
+        half_width = max(3, int(cutoff_steps))
+    w = lanczos_lowpass_weights(cutoff_steps, half_width)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("series too short to filter")
+    # Reflect-pad so the filtered series has the same length as the input;
+    # reflection is the standard choice for climate series (no phase shift,
+    # no spurious trend at the ends).
+    pad = half_width
+    idx = np.arange(-pad, n + pad)
+    idx = np.abs(idx)                         # reflect at the start
+    idx = np.where(idx >= n, 2 * (n - 1) - idx, idx)   # reflect at the end
+    idx = np.clip(idx, 0, n - 1)
+    flat = x.reshape(n, -1)
+    padded = flat[idx]
+    from numpy.lib.stride_tricks import sliding_window_view
+    windows = sliding_window_view(padded, w.size, axis=0)   # (n, k, w)
+    out = np.einsum("tkw,w->tk", windows, w)
+    return out.reshape(x.shape)
+
+
+def monthly_means(series: np.ndarray, times: np.ndarray,
+                  month_seconds: float = 30 * 86400.0) -> tuple[np.ndarray, np.ndarray]:
+    """Bin a time series into (30-day) monthly means.
+
+    Returns (month_center_times, means); incomplete trailing bins dropped.
+    """
+    t = np.asarray(times, dtype=float)
+    x = np.asarray(series, dtype=float)
+    bins = np.floor((t - t[0]) / month_seconds).astype(int)
+    nb = bins.max() + 1
+    out = []
+    centers = []
+    for b in range(nb):
+        sel = bins == b
+        if sel.sum() == 0:
+            continue
+        out.append(x[sel].mean(axis=0))
+        centers.append(t[sel].mean())
+    return np.asarray(centers), np.asarray(out)
+
+
+def detrend(series: np.ndarray) -> np.ndarray:
+    """Remove the mean and least-squares linear trend along axis 0."""
+    x = np.asarray(series, dtype=float)
+    n = x.shape[0]
+    t = np.arange(n, dtype=float)
+    t -= t.mean()
+    flat = x.reshape(n, -1)
+    anom = flat - flat.mean(axis=0)
+    slope = (t[:, None] * anom).sum(axis=0) / max((t**2).sum(), 1e-12)
+    return (anom - np.outer(t, slope)).reshape(x.shape)

@@ -1,0 +1,72 @@
+"""Synthetic "observed" SST climatology (substitute for Shea et al. 1990).
+
+Figure 3(b) of the paper shows the Shea-Trenberth-Reynolds observed annual
+mean SST, which is proprietary-era NCAR data we do not have.  This module
+generates an analytic climatology with the same gross structure — the
+comparison target for experiment E3:
+
+* a zonal-mean profile peaking ~28-29 C in the tropics, falling to the
+  freezing clamp poleward;
+* the west-Pacific warm pool and east-Pacific equatorial cold tongue;
+* warm western-boundary currents (Gulf Stream, Kuroshio) and their
+  cold-tongue counterparts off the eastern boundaries;
+* the circum-Antarctic cold ring.
+
+All amplitudes are degrees-Celsius-scale values from any SST atlas; the
+substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import T_FREEZE_SEA
+
+
+def synthetic_sst_climatology(lats: np.ndarray, lons: np.ndarray
+                              ) -> np.ndarray:
+    """Annual-mean SST (deg C) on the given (lat, lon) grid (radians)."""
+    lat = np.asarray(lats)[:, None]
+    lon = np.asarray(lons)[None, :]
+    lat_d = np.degrees(lat)
+    lon_d = np.degrees(lon)
+
+    # Zonal mean: warm tropical plateau, midlatitude gradient matching the
+    # observed ~8 C at 50N, near-freezing poleward of ~65.
+    sst = -1.5 + 30.0 * np.exp(-((lat_d / 40.0) ** 2)) * np.ones_like(lon_d)
+
+    # West Pacific warm pool (+2.5 C around 0N, 150E).
+    sst += 2.5 * np.exp(-(((lat_d - 2) / 12) ** 2 + ((lon_d - 150) / 35) ** 2))
+    # East Pacific cold tongue (-3 C along the equator near 250E).
+    sst -= 3.0 * np.exp(-((lat_d / 4) ** 2 + ((lon_d - 255) / 30) ** 2))
+    # Gulf Stream warm tongue (38N, 300E) and Kuroshio (38N, 145E).
+    sst += 2.0 * np.exp(-(((lat_d - 38) / 7) ** 2 + ((lon_d - 300) / 18) ** 2))
+    sst += 2.0 * np.exp(-(((lat_d - 38) / 7) ** 2 + ((lon_d - 145) / 18) ** 2))
+    # Eastern-boundary upwelling cool patches (Canary, California, Peru).
+    sst -= 1.5 * np.exp(-(((lat_d - 25) / 8) ** 2 + ((lon_d - 340) / 12) ** 2))
+    sst -= 1.5 * np.exp(-(((lat_d - 30) / 8) ** 2 + ((lon_d - 235) / 12) ** 2))
+    sst -= 1.5 * np.exp(-(((lat_d + 15) / 8) ** 2 + ((lon_d - 280) / 12) ** 2))
+
+    # Clamp at sea-water freezing, as the model does.
+    return np.maximum(sst, T_FREEZE_SEA - 273.15)
+
+
+def sst_error_statistics(model_sst: np.ndarray, obs_sst: np.ndarray,
+                         weights: np.ndarray,
+                         mask: np.ndarray | None = None) -> dict:
+    """Fig-3(c)-style error metrics: bias, RMSE, pattern correlation."""
+    if mask is None:
+        mask = np.isfinite(model_sst)
+    m = np.where(mask, model_sst, 0.0)
+    o = np.where(mask, obs_sst, 0.0)
+    w = np.where(mask, weights, 0.0)
+    wsum = w.sum()
+    bias = float(np.sum((m - o) * w) / wsum)
+    rmse = float(np.sqrt(np.sum((m - o) ** 2 * w) / wsum))
+    mm = np.sum(m * w) / wsum
+    oo = np.sum(o * w) / wsum
+    cov = np.sum((m - mm) * (o - oo) * w) / wsum
+    sm = np.sqrt(np.sum((m - mm) ** 2 * w) / wsum)
+    so = np.sqrt(np.sum((o - oo) ** 2 * w) / wsum)
+    corr = float(cov / max(sm * so, 1e-12))
+    return {"bias": bias, "rmse": rmse, "pattern_correlation": corr}

@@ -1,0 +1,32 @@
+"""The FOAM atmosphere: PCCM2-derived spectral dynamics + CCM2/CCM3 physics.
+
+Paper section 4.1: an R15 rhomboidal spectral model (48 x 40 Gaussian grid,
+18 hybrid levels, 30-minute steps) whose physics columns run without
+interprocessor communication.  Subpackages:
+
+* :mod:`repro.atmosphere.spectral` — spherical-harmonic transform engine;
+* :mod:`repro.atmosphere.vertical` — sigma levels and semi-implicit matrices;
+* :mod:`repro.atmosphere.dynamics` — the semi-implicit dynamical core;
+* :mod:`repro.atmosphere.semilag` — semi-Lagrangian moisture transport;
+* :mod:`repro.atmosphere.physics` — radiation, convection, stratiform,
+  boundary layer, and surface-flux parameterizations.
+"""
+
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.vertical import VerticalGrid
+from repro.atmosphere.dynamics import (
+    AtmosphereState,
+    GridDiagnostics,
+    SpectralDynamicalCore,
+)
+from repro.atmosphere.semilag import advect_semilagrangian
+
+__all__ = [
+    "SpectralTransform",
+    "Truncation",
+    "VerticalGrid",
+    "AtmosphereState",
+    "GridDiagnostics",
+    "SpectralDynamicalCore",
+    "advect_semilagrangian",
+]

@@ -1,0 +1,171 @@
+"""Physics driver: runs the full CCM-style column-physics suite in order.
+
+The paper stresses that CCM physics "occur entirely in vertical columns" and
+therefore parallelize with no communication; this driver preserves that
+property — every scheme is a pure function of the column state, vectorized
+over whatever horizontal shape the caller supplies.
+
+Call order per physics step (the CCM sequence):
+
+1. radiation (only on radiation steps — twice per simulated day, per Fig 2);
+2. surface fluxes (unless the coupler supplies them, as in coupled FOAM);
+3. boundary-layer vertical diffusion (consumes the surface fluxes);
+4. Zhang-McFarlane deep convection;
+5. Hack shallow convection;
+6. stratiform condensation + precipitation evaporation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atmosphere.physics.boundary_layer import (
+    BoundaryLayerParams,
+    boundary_layer_tendencies,
+)
+from repro.atmosphere.physics.convection import (
+    ConvectionParams,
+    hack_shallow,
+    zhang_mcfarlane_deep,
+)
+from repro.atmosphere.physics.radiation import (
+    RadiationParams,
+    longwave,
+    shortwave,
+    solar_zenith_cos,
+)
+from repro.atmosphere.physics.stratiform import StratiformParams, stratiform_tendencies
+from repro.util.constants import GRAVITY, SECONDS_PER_DAY
+
+
+@dataclass
+class SurfaceState:
+    """What the physics needs to know about the lower boundary."""
+
+    t_sfc: np.ndarray           # surface (skin / SST) temperature, K
+    albedo: np.ndarray          # broadband surface albedo
+    wetness: np.ndarray         # D_w latent-heat availability factor
+    z0: np.ndarray              # roughness length (m); ocean overridden internally
+    ocean_mask: np.ndarray      # bool: True where the CCM3 ocean formulas apply
+
+
+@dataclass
+class PhysicsTendencies:
+    """Output of one physics step (all per second)."""
+
+    dtdt: np.ndarray
+    dqdt: np.ndarray
+    dudt: np.ndarray
+    dvdt: np.ndarray
+    precip_conv: np.ndarray     # kg m^-2 s^-1
+    precip_strat: np.ndarray
+    fluxes: dict = field(default_factory=dict)   # surface energy budget pieces
+    heating_sw: np.ndarray | None = None
+    heating_lw: np.ndarray | None = None
+
+
+class PhysicsSuite:
+    """Holds all parameterization settings and applies them in CCM order."""
+
+    def __init__(self,
+                 radiation: RadiationParams = RadiationParams(),
+                 convection: ConvectionParams = ConvectionParams(),
+                 stratiform: StratiformParams = StratiformParams(),
+                 boundary_layer: BoundaryLayerParams = BoundaryLayerParams(),
+                 radiation_interval: float = SECONDS_PER_DAY / 2.0):
+        self.rad = radiation
+        self.conv = convection
+        self.strat = stratiform
+        self.pbl = boundary_layer
+        self.radiation_interval = radiation_interval
+        self._cached_sw = None
+        self._cached_lw = None
+        self._last_radiation_time = -np.inf
+
+    def radiation_due(self, time: float) -> bool:
+        """Radiation recomputes on its own (longer) cadence — paper: 2x/day."""
+        return time - self._last_radiation_time >= self.radiation_interval - 1e-6
+
+    # ------------------------------------------------------------------
+    def compute(self, *, temp: np.ndarray, q: np.ndarray, u: np.ndarray,
+                v: np.ndarray, pressure: np.ndarray, ps: np.ndarray,
+                geopotential: np.ndarray, dsigma: np.ndarray,
+                surface: SurfaceState, dt: float, time: float,
+                lats: np.ndarray, lons: np.ndarray,
+                external_fluxes: dict | None = None) -> PhysicsTendencies:
+        """One physics step over all columns.
+
+        ``external_fluxes`` lets the FOAM coupler own the surface flux
+        computation (its overlap-grid role); otherwise the CCM2/CCM3 bulk
+        formulas run here.
+        """
+        dp = dsigma[:, None, None] * ps[None]
+        z_full = geopotential / GRAVITY
+
+        # ---- 1. radiation (cached between radiation steps) --------------
+        if self.radiation_due(time):
+            day = (time / SECONDS_PER_DAY) % 365.0
+            secs = time % SECONDS_PER_DAY
+            cosz = solar_zenith_cos(lats, day, secs, lons)
+            sw_heat, sw_sfc, sw_toa_refl = shortwave(
+                temp, q, pressure, dp, cosz, surface.albedo, self.rad)
+            lw_heat, olr, lw_down, lw_net_sfc = longwave(
+                temp, q, dp, surface.t_sfc, self.rad)
+            self._cached_sw = (sw_heat, sw_sfc, sw_toa_refl)
+            self._cached_lw = (lw_heat, olr, lw_down, lw_net_sfc)
+            self._last_radiation_time = time
+        sw_heat, sw_sfc, sw_toa_refl = self._cached_sw
+        lw_heat, olr, lw_down, lw_net_sfc = self._cached_lw
+
+        # ---- 2. surface fluxes ------------------------------------------
+        if external_fluxes is None:
+            from repro.atmosphere.physics.surface_flux import bulk_fluxes, ocean_fluxes
+            land = bulk_fluxes(temp[-1], q[-1], u[-1], v[-1], ps,
+                               surface.t_sfc, surface.z0, surface.wetness)
+            ocean = ocean_fluxes(temp[-1], q[-1], u[-1], v[-1], ps, surface.t_sfc)
+            mask = surface.ocean_mask
+            fluxes = {k: np.where(mask, ocean[k], land[k]) for k in land}
+        else:
+            fluxes = external_fluxes
+
+        # ---- 3. boundary layer ------------------------------------------
+        dtdt_pbl, dqdt_pbl, dudt_pbl, dvdt_pbl = boundary_layer_tendencies(
+            temp, q, u, v, pressure, z_full, dt,
+            ustar=fluxes["ustar"], shf=fluxes["shf"], lhf_evap=fluxes["evap"],
+            taux=-fluxes["taux"], tauy=-fluxes["tauy"], params=self.pbl)
+
+        t_work = temp + dt * (dtdt_pbl + sw_heat + lw_heat)
+        q_work = np.maximum(q + dt * dqdt_pbl, 0.0)
+
+        # ---- 4. deep convection ------------------------------------------
+        dtdt_zm, dqdt_zm, prec_zm = zhang_mcfarlane_deep(
+            t_work, q_work, pressure, dp, dt, self.conv)
+        t_work = t_work + dt * dtdt_zm
+        q_work = np.maximum(q_work + dt * dqdt_zm, 0.0)
+
+        # ---- 5. shallow convection ----------------------------------------
+        dtdt_hk, dqdt_hk, prec_hk = hack_shallow(
+            t_work, q_work, pressure, dp, geopotential, dt, self.conv)
+        t_work = t_work + dt * dtdt_hk
+        q_work = np.maximum(q_work + dt * dqdt_hk, 0.0)
+
+        # ---- 6. stratiform -------------------------------------------------
+        dtdt_st, dqdt_st, prec_st = stratiform_tendencies(
+            t_work, q_work, pressure, dp, dt, self.strat)
+        t_work = t_work + dt * dtdt_st
+        q_work = np.maximum(q_work + dt * dqdt_st, 0.0)
+
+        total_dtdt = (t_work - temp) / dt
+        total_dqdt = (q_work - q) / dt
+
+        fluxes = dict(fluxes)
+        fluxes.update({
+            "sw_sfc": sw_sfc, "lw_down": lw_down, "lw_net_sfc": lw_net_sfc,
+            "olr": olr, "sw_toa_reflected": sw_toa_refl,
+        })
+        return PhysicsTendencies(
+            dtdt=total_dtdt, dqdt=total_dqdt, dudt=dudt_pbl, dvdt=dvdt_pbl,
+            precip_conv=prec_zm + prec_hk, precip_strat=prec_st,
+            fluxes=fluxes, heating_sw=sw_heat, heating_lw=lw_heat)

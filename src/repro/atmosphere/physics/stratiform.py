@@ -1,0 +1,85 @@
+"""Stratiform (large-scale) condensation with precipitation evaporation.
+
+CCM-style saturation adjustment: wherever the grid box is supersaturated,
+condense to exactly saturated (iterating because condensational heating
+raises the saturation mixing ratio), rain the condensate out, and — the CCM3
+addition the paper explicitly adopts — evaporate falling precipitation into
+subsaturated layers below cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import CP, EPSILON, GRAVITY, LATENT_HEAT_VAP, RV
+from repro.util.thermo import saturation_mixing_ratio
+
+
+@dataclass(frozen=True)
+class StratiformParams:
+    iterations: int = 3                 # saturation-adjustment Newton sweeps
+    evap_efficiency: float = 2.0e-5     # s^-1 (kg m^-2 s^-1)^-1/2-ish bulk rate
+    evap_rh_cap: float = 0.95           # stop evaporating once RH reaches this
+
+
+def saturation_adjustment(temp: np.ndarray, q: np.ndarray, pressure: np.ndarray,
+                          params: StratiformParams = StratiformParams()
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Condense supersaturation; returns (T_new, q_new, condensate kg/kg).
+
+    Newton iteration on  q - qsat(T + L dq / cp) = 0  per layer.
+    """
+    t = temp.copy()
+    qv = q.copy()
+    cond_total = np.zeros_like(q)
+    for _ in range(params.iterations):
+        qsat = saturation_mixing_ratio(t, pressure)
+        # dqsat/dT from Clausius-Clapeyron: qsat L / (Rv T^2)
+        dqsat_dt = qsat * LATENT_HEAT_VAP / (RV * t * t)
+        excess = qv - qsat
+        # Newton step with latent-heat feedback in the denominator.
+        dq = np.where(excess > 0.0,
+                      excess / (1.0 + LATENT_HEAT_VAP / CP * dqsat_dt), 0.0)
+        qv -= dq
+        t += LATENT_HEAT_VAP * dq / CP
+        cond_total += dq
+    return t, qv, cond_total
+
+
+def stratiform_tendencies(temp: np.ndarray, q: np.ndarray, pressure: np.ndarray,
+                          dp: np.ndarray, dt: float,
+                          params: StratiformParams = StratiformParams()
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full stratiform step: (dT/dt, dq/dt, surface precip rate kg m^-2 s^-1).
+
+    Condensate forms at each level, falls, and partially evaporates into
+    subsaturated layers below (cooling and moistening them) before what
+    survives reaches the surface as precipitation.
+    """
+    t_adj, q_adj, cond = saturation_adjustment(temp, q, pressure, params)
+    mass = dp / GRAVITY
+    L = temp.shape[0]
+
+    # March the precipitation flux downward, evaporating en route.
+    flux = np.zeros_like(temp[0])                 # kg m^-2 s^-1
+    t_new = t_adj.copy()
+    q_new = q_adj.copy()
+    for l in range(L):
+        flux = flux + cond[l] * mass[l] / dt
+        qsat = saturation_mixing_ratio(t_new[l], pressure[l])
+        rh = q_new[l] / np.maximum(qsat, 1e-12)
+        deficit = np.maximum(params.evap_rh_cap - rh, 0.0)
+        # Bulk evaporation: proportional to flux and to subsaturation.
+        evap_rate = params.evap_efficiency * deficit * np.sqrt(
+            np.maximum(flux, 0.0) * 3.6e5)       # normalized to mm/hr scale
+        evap = np.minimum(evap_rate * dt * qsat, flux * dt / np.maximum(mass[l], 1e-12))
+        evap = np.minimum(evap, deficit * qsat)   # don't overshoot the cap
+        q_new[l] += evap
+        t_new[l] -= LATENT_HEAT_VAP * evap / CP
+        flux = np.maximum(flux - evap * mass[l] / dt, 0.0)
+
+    dtdt = (t_new - temp) / dt
+    dqdt = (q_new - q) / dt
+    return dtdt, dqdt, flux

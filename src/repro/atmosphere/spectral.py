@@ -1,0 +1,314 @@
+"""Spherical-harmonic spectral transform core (the PCCM2 dynamical substrate).
+
+The FOAM atmosphere is a spectral transform model: fields live both on a
+longitude x Gaussian-latitude grid and as spherical-harmonic coefficients
+under a rhomboidal truncation (R15 in the paper: zonal wavenumbers
+m = 0..15, total wavenumbers n = m..m+15, on a 48 x 40 grid).  This module
+implements, from scratch:
+
+* Gaussian latitudes and quadrature weights;
+* normalized associated Legendre functions ``Pbar`` and their derivative
+  combination ``H = (1-mu^2) dPbar/dmu`` by stable three-term recurrence;
+* grid <-> spectral transforms (FFT in longitude, Gauss-Legendre quadrature
+  in latitude);
+* the spectral differential operators a GCM dynamical core needs: zonal
+  derivative, Laplacian and its inverse, and the wind <-> (vorticity,
+  divergence) relations in the integrated-by-parts form of Bourke (1972)
+  that avoids grid-space differentiation.
+
+Normalization: ``(1/2) \\int_{-1}^{1} Pbar_n^m(mu)^2 dmu = 1`` and Fourier
+coefficients carry a 1/nlon factor on analysis, so a spectral coefficient
+(m=0, n=0) equals the global mean of the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util.constants import EARTH_RADIUS
+
+
+@dataclass(frozen=True)
+class Truncation:
+    """Spectral truncation: rhomboidal (CCM/R15 style) or triangular.
+
+    ``mmax`` is the highest zonal wavenumber; for each m the retained total
+    wavenumbers are n = m .. m + nextra (rhomboidal, nextra = K) or
+    n = m .. mmax (triangular, nextra decreasing).
+    """
+
+    mmax: int
+    kind: str = "rhomboidal"
+
+    def __post_init__(self):
+        if self.mmax < 1:
+            raise ValueError(f"mmax must be >= 1, got {self.mmax}")
+        if self.kind not in ("rhomboidal", "triangular"):
+            raise ValueError(f"unknown truncation kind {self.kind!r}")
+
+    @property
+    def nm(self) -> int:
+        """Number of zonal wavenumbers (m = 0..mmax)."""
+        return self.mmax + 1
+
+    @property
+    def nk(self) -> int:
+        """Number of retained n per m (k index 0..nk-1, n = m + k)."""
+        return self.mmax + 1
+
+    def mask(self) -> np.ndarray:
+        """Boolean (nm, nk) mask of retained coefficients."""
+        m = np.arange(self.nm)[:, None]
+        k = np.arange(self.nk)[None, :]
+        if self.kind == "rhomboidal":
+            return np.ones((self.nm, self.nk), dtype=bool)
+        return (m + k) <= self.mmax
+
+    def n_values(self) -> np.ndarray:
+        """Total wavenumber n at each (m, k) slot."""
+        m = np.arange(self.nm)[:, None]
+        k = np.arange(self.nk)[None, :]
+        return m + k
+
+
+def gaussian_latitudes(nlat: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian quadrature nodes mu = sin(lat) (south->north) and weights."""
+    if nlat < 2:
+        raise ValueError(f"need at least 2 latitudes, got {nlat}")
+    mu, w = np.polynomial.legendre.leggauss(nlat)
+    order = np.argsort(mu)
+    return mu[order], w[order]
+
+
+def _epsilon(n: np.ndarray | float, m: int) -> np.ndarray | float:
+    """Recurrence coefficient eps_n^m = sqrt((n^2 - m^2) / (4 n^2 - 1))."""
+    n = np.asarray(n, dtype=float)
+    return np.sqrt(np.maximum(n * n - m * m, 0.0) / (4.0 * n * n - 1.0))
+
+
+def associated_legendre(mu: np.ndarray, mmax: int, nkmax: int) -> np.ndarray:
+    """Normalized associated Legendre functions on Gaussian nodes.
+
+    Returns ``pbar`` of shape (nlat, mmax+1, nkmax) with
+    ``pbar[j, m, k] = Pbar_{m+k}^m(mu_j)``.  Normalization is
+    ``(1/2) int Pbar^2 dmu = 1``; computed with the stable sectoral seed +
+    three-term recurrence in n.
+    """
+    mu = np.asarray(mu, dtype=float)
+    nlat = mu.size
+    cos2 = 1.0 - mu * mu  # cos^2(lat)
+    pbar = np.zeros((nlat, mmax + 1, nkmax))
+    # Sectoral functions Pbar_m^m built multiplicatively to avoid overflow.
+    pmm = np.ones(nlat)  # Pbar_0^0 = 1 under this normalization
+    for m in range(mmax + 1):
+        pbar[:, m, 0] = pmm
+        # Upward recurrence in n at fixed m:
+        #   Pbar_n = (mu Pbar_{n-1} - eps_{n-1} Pbar_{n-2}) / eps_n
+        pnm2 = np.zeros(nlat)
+        pnm1 = pmm
+        for k in range(1, nkmax):
+            n = m + k
+            e_n = _epsilon(n, m)
+            e_nm1 = _epsilon(n - 1, m)
+            pn = (mu * pnm1 - e_nm1 * pnm2) / e_n
+            pbar[:, m, k] = pn
+            pnm2, pnm1 = pnm1, pn
+        # Seed for the next m: Pbar_{m+1}^{m+1} = sqrt((2m+3)/(2m+2)) cos(lat) Pbar_m^m
+        if m < mmax:
+            pmm = np.sqrt((2.0 * m + 3.0) / (2.0 * m + 2.0)) * np.sqrt(cos2) * pmm
+    return pbar
+
+
+def legendre_derivative(mu: np.ndarray, pbar_ext: np.ndarray) -> np.ndarray:
+    """H_n^m = (1 - mu^2) dPbar_n^m/dmu from the extended Pbar table.
+
+    ``pbar_ext`` must hold one extra k row (n up to m + nk), since
+    ``H_n = (n+1) eps_n Pbar_{n-1} - n eps_{n+1} Pbar_{n+1}``.
+    Returns shape (nlat, nm, nk) where nk = pbar_ext.shape[2] - 1.
+    """
+    nlat, nm, nk_ext = pbar_ext.shape
+    nk = nk_ext - 1
+    h = np.zeros((nlat, nm, nk))
+    for m in range(nm):
+        for k in range(nk):
+            n = m + k
+            term_up = -n * _epsilon(n + 1, m) * pbar_ext[:, m, k + 1]
+            term_dn = (n + 1) * _epsilon(n, m) * pbar_ext[:, m, k - 1] if k >= 1 else 0.0
+            h[:, m, k] = term_up + term_dn
+    return h
+
+
+class SpectralTransform:
+    """Grid <-> spectral transform engine for one (nlat, nlon, truncation).
+
+    Precomputes Legendre tables once; all transforms are einsum/FFT calls
+    with no Python-level loops over latitude or wavenumber (the guides'
+    vectorization rule — these are the model's innermost kernels).
+    """
+
+    def __init__(self, nlat: int, nlon: int, trunc: Truncation,
+                 radius: float = EARTH_RADIUS):
+        if nlon < 2 * trunc.mmax + 1:
+            raise ValueError(
+                f"nlon={nlon} cannot resolve m up to {trunc.mmax} without aliasing; "
+                f"need nlon >= {2 * trunc.mmax + 1}")
+        max_n = trunc.mmax + trunc.nk - 1
+        if 2 * nlat < max_n + trunc.mmax + 1:
+            raise ValueError(
+                f"nlat={nlat} too coarse for quadrature of truncation "
+                f"(max n = {max_n}); need nlat >= {(max_n + trunc.mmax + 1 + 1) // 2}")
+        self.nlat = nlat
+        self.nlon = nlon
+        self.trunc = trunc
+        self.radius = radius
+
+        self.mu, self.weights = gaussian_latitudes(nlat)
+        self.lats = np.arcsin(self.mu)                  # radians, S->N
+        self.lons = 2.0 * np.pi * np.arange(nlon) / nlon
+        self.coslat = np.cos(self.lats)
+
+        # Legendre tables, with one extra k row for the H recurrence.
+        pbar_ext = associated_legendre(self.mu, trunc.mmax, trunc.nk + 1)
+        self.pbar = pbar_ext[:, :, : trunc.nk]
+        self.hbar = legendre_derivative(self.mu, pbar_ext)
+        self._wp = (self.weights[:, None, None] / 2.0) * self.pbar
+        self._wh = (self.weights[:, None, None] / 2.0) * self.hbar
+        self._mask = trunc.mask()
+        self._n = trunc.n_values().astype(float)
+        self._m = np.arange(trunc.nm, dtype=float)[:, None] * np.ones_like(self._n)
+        self._lap = -self._n * (self._n + 1.0) / radius**2
+        with np.errstate(divide="ignore"):
+            inv = np.where(self._lap != 0.0, 1.0 / self._lap, 0.0)
+        self._invlap = inv
+
+    # ------------------------------------------------------------------
+    @property
+    def spec_shape(self) -> tuple[int, int]:
+        return (self.trunc.nm, self.trunc.nk)
+
+    @cached_property
+    def lat_degrees(self) -> np.ndarray:
+        return np.degrees(self.lats)
+
+    @cached_property
+    def lon_degrees(self) -> np.ndarray:
+        return np.degrees(self.lons)
+
+    @cached_property
+    def cell_area_weights(self) -> np.ndarray:
+        """(nlat, nlon) area weights summing to 1 (Gaussian x uniform lon)."""
+        w = np.repeat(self.weights[:, None] / 2.0, self.nlon, axis=1) / self.nlon
+        return w
+
+    def global_mean(self, grid: np.ndarray) -> float:
+        """Exact (quadrature) area-weighted global mean of a grid field."""
+        return float(np.sum(grid * self.cell_area_weights))
+
+    # ------------------------------------------------------------------
+    # core transforms
+    # ------------------------------------------------------------------
+    def _fourier(self, grid: np.ndarray) -> np.ndarray:
+        """Forward FFT in longitude; returns (nlat, nm) complex, 1/nlon norm."""
+        f = np.fft.rfft(grid, axis=-1) / self.nlon
+        return f[..., : self.trunc.nm]
+
+    def _inverse_fourier(self, fm: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_fourier`: (nlat, nm) complex -> (nlat, nlon) real."""
+        full = np.zeros(fm.shape[:-1] + (self.nlon // 2 + 1,), dtype=complex)
+        full[..., : self.trunc.nm] = fm
+        return np.fft.irfft(full * self.nlon, n=self.nlon, axis=-1)
+
+    def analyze(self, grid: np.ndarray) -> np.ndarray:
+        """Grid (nlat, nlon) -> spectral coefficients (nm, nk), complex."""
+        fm = self._fourier(grid)
+        spec = np.einsum("jm,jmk->mk", fm, self._wp)
+        return spec * self._mask
+
+    def synthesize(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral (nm, nk) -> grid (nlat, nlon), real."""
+        fm = np.einsum("mk,jmk->jm", spec * self._mask, self.pbar)
+        return self._inverse_fourier(fm)
+
+    # ------------------------------------------------------------------
+    # differential operators (spectral space)
+    # ------------------------------------------------------------------
+    def laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """del^2 in spectral space: multiply by -n(n+1)/a^2."""
+        return spec * self._lap
+
+    def inverse_laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """del^-2; the (0,0) global-mean mode maps to zero."""
+        return spec * self._invlap
+
+    def ddlambda(self, spec: np.ndarray) -> np.ndarray:
+        """Zonal derivative d/dlambda (multiply by i m)."""
+        return spec * (1j * self._m)
+
+    # ------------------------------------------------------------------
+    # wind <-> vorticity/divergence (Bourke form)
+    # ------------------------------------------------------------------
+    def uv_from_vortdiv(self, vort_spec: np.ndarray, div_spec: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Grid winds (u, v) from spectral relative vorticity and divergence.
+
+        Solves psi = del^-2 zeta, chi = del^-2 D, then
+        U = u cos(lat) = (im chi Pbar - psi H)/a summed over n, likewise V.
+        """
+        psi = self.inverse_laplacian(vort_spec)
+        chi = self.inverse_laplacian(div_spec)
+        im = 1j * self._m
+        u_fm = (np.einsum("mk,jmk->jm", (im * chi) * self._mask, self.pbar)
+                - np.einsum("mk,jmk->jm", psi * self._mask, self.hbar)) / self.radius
+        v_fm = (np.einsum("mk,jmk->jm", (im * psi) * self._mask, self.pbar)
+                + np.einsum("mk,jmk->jm", chi * self._mask, self.hbar)) / self.radius
+        big_u = self._inverse_fourier(u_fm)
+        big_v = self._inverse_fourier(v_fm)
+        cos = self.coslat[:, None]
+        return big_u / cos, big_v / cos
+
+    def vortdiv_from_uv(self, u: np.ndarray, v: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Spectral (zeta, D) from grid winds by integration by parts.
+
+        zeta_n^m = (1/a) sum_j w_j/2 [ im V_m Pbar + U_m H ] / (1-mu^2)
+        D_n^m    = (1/a) sum_j w_j/2 [ im U_m Pbar - V_m H ] / (1-mu^2)
+        which never differentiates on the grid (Bourke 1972).
+        """
+        cos = self.coslat[:, None]
+        over_c2 = 1.0 / (cos[:, 0] ** 2)
+        u_fm = self._fourier(u * cos) * over_c2[:, None]
+        v_fm = self._fourier(v * cos) * over_c2[:, None]
+        im = 1j * self._m
+        vort = (im * np.einsum("jm,jmk->mk", v_fm, self._wp)
+                + np.einsum("jm,jmk->mk", u_fm, self._wh)) / self.radius
+        div = (im * np.einsum("jm,jmk->mk", u_fm, self._wp)
+               - np.einsum("jm,jmk->mk", v_fm, self._wh)) / self.radius
+        return vort * self._mask, div * self._mask
+
+    def gradient(self, spec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Grid (df/dx, df/dy) of a spectral field on the sphere.
+
+        df/dx = (1/(a cos)) df/dlambda,  df/dy = (cos/a) df/dmu; the
+        meridional part uses the H functions so no finite differencing occurs.
+        """
+        fx_fm = np.einsum("mk,jmk->jm", self.ddlambda(spec) * self._mask, self.pbar)
+        fy_fm = np.einsum("mk,jmk->jm", spec * self._mask, self.hbar)
+        cos = self.coslat[:, None]
+        fx = self._inverse_fourier(fx_fm) / (self.radius * cos)
+        fy = self._inverse_fourier(fy_fm) / (self.radius * cos)
+        return fx, fy
+
+    def spectral_filter(self, spec: np.ndarray, order: int = 4,
+                        coefficient: float = 1.0e16, dt: float = 1.0) -> np.ndarray:
+        """Implicit del^(2*order/2) hyperdiffusion damping (CCM-style del^4).
+
+        Returns the filtered coefficients after one step of
+        d a / dt = -K (-lap)^{order/2} a  applied implicitly.
+        """
+        if order % 2 != 0:
+            raise ValueError(f"hyperdiffusion order must be even, got {order}")
+        damp = coefficient * (self._n * (self._n + 1.0) / self.radius**2) ** (order // 2)
+        return spec / (1.0 + dt * damp)

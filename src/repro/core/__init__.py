@@ -1,0 +1,11 @@
+"""FOAM core: the coupled model driver, configuration, and history I/O."""
+
+from repro.core.config import FoamConfig, paper_config, small_config, test_config
+from repro.core.foam import CoupledDiagnostics, FoamModel, FoamState
+from repro.core.history import HistoryWriter, load_history, save_restart, load_restart
+
+__all__ = [
+    "FoamConfig", "paper_config", "small_config", "test_config",
+    "CoupledDiagnostics", "FoamModel", "FoamState",
+    "HistoryWriter", "load_history", "save_restart", "load_restart",
+]

@@ -1,0 +1,76 @@
+"""FOAM coupled-model configuration.
+
+The paper's production configuration (``paper_config``): R15 spectral
+atmosphere on a 48 x 40 Gaussian grid with 18 levels and a 30-minute step;
+128 x 128 x 16 Mercator ocean with a 6-hour step (called 4x per simulated
+day); radiation recomputed twice per day.  ``test_config`` scales everything
+down for CI-speed runs; ``small_config`` sits in between for the example
+scripts.  All knobs are independent, so any resolution in between works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ocean.model import OceanParams
+from repro.util.constants import SECONDS_PER_DAY
+
+
+@dataclass
+class FoamConfig:
+    """Every tunable of the coupled system in one place."""
+
+    # Atmosphere (PCCM2-style spectral).
+    atm_mmax: int = 15              # rhomboidal truncation (R15)
+    atm_nlat: int = 40
+    atm_nlon: int = 48
+    atm_nlev: int = 18
+    atm_dt: float = 1800.0          # 30-minute step (paper)
+    robert_filter: float = 0.04
+
+    # Ocean.
+    ocn_nx: int = 128
+    ocn_ny: int = 128
+    ocn_nlev: int = 16
+    ocean_params: OceanParams = field(default_factory=OceanParams)
+
+    # Coupling cadence.
+    ocean_coupling_interval: float = 6.0 * 3600.0   # ocean called 4x/day
+    radiation_interval: float = SECONDS_PER_DAY / 2  # radiation 2x/day
+
+    # Numerics / reproducibility.
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.ocean_coupling_interval % self.atm_dt != 0:
+            raise ValueError(
+                "ocean_coupling_interval must be a multiple of atm_dt "
+                f"({self.ocean_coupling_interval} vs {self.atm_dt})")
+        if abs(self.ocean_params.dt_long - self.ocean_coupling_interval) > 1e-9:
+            # Keep the two clocks consistent automatically.
+            self.ocean_params.dt_long = self.ocean_coupling_interval
+
+    @property
+    def atm_steps_per_coupling(self) -> int:
+        return int(round(self.ocean_coupling_interval / self.atm_dt))
+
+    @property
+    def atm_steps_per_day(self) -> int:
+        return int(round(SECONDS_PER_DAY / self.atm_dt))
+
+
+def paper_config() -> FoamConfig:
+    """The configuration of the paper's production runs."""
+    return FoamConfig()
+
+
+def small_config() -> FoamConfig:
+    """Reduced resolution for example scripts (minutes, not hours)."""
+    return FoamConfig(atm_mmax=10, atm_nlat=28, atm_nlon=36, atm_nlev=8,
+                      ocn_nx=48, ocn_ny=48, ocn_nlev=8)
+
+
+def test_config() -> FoamConfig:
+    """Minimal configuration for the test suite (seconds per simulated day)."""
+    return FoamConfig(atm_mmax=8, atm_nlat=24, atm_nlon=32, atm_nlev=5,
+                      atm_dt=3600.0, ocn_nx=24, ocn_ny=24, ocn_nlev=5)

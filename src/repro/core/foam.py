@@ -1,0 +1,253 @@
+"""FOAM: the coupled ocean-atmosphere model (the paper's contribution).
+
+Assembles the spectral atmosphere (:mod:`repro.atmosphere`), the fast ocean
+(:mod:`repro.ocean`) and the overlap-grid coupler (:mod:`repro.coupler`)
+into the coupled system of the paper:
+
+* the atmosphere advances on its 30-minute step; its lower boundary
+  condition is replaced by coupler-supplied surface state and fluxes
+  ("the principal modification to PCCM2 ... was to replace the lower
+  boundary condition routine");
+* the coupler computes the turbulent fluxes on the overlap grid each
+  atmosphere step, runs the land/bucket/river/ice models, and accumulates
+  the ocean forcing;
+* the ocean is called once per 6 simulated hours (4x per day, Figure 2)
+  with the time-averaged forcing;
+* radiation is recomputed twice per simulated day.
+
+Physics and coupling are applied as adjustments to the spectral state
+between dynamics steps (process splitting), with moisture carried on the
+grid and transported semi-Lagrangially as in PCCM2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
+from repro.atmosphere.physics import PhysicsSuite
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.vertical import VerticalGrid
+from repro.coupler.coupler import CouplerState, FluxCoupler
+from repro.core.config import FoamConfig, test_config
+from repro.ocean.grid import OceanGrid, world_topography
+from repro.ocean.model import OceanForcing, OceanModel, OceanState
+from repro.util.constants import STEFAN_BOLTZMANN
+
+
+@dataclass
+class FoamState:
+    """Complete prognostic state of the coupled system."""
+
+    atm_prev: AtmosphereState
+    atm_curr: AtmosphereState
+    ocean: OceanState
+    coupler: CouplerState
+    time: float = 0.0
+
+
+@dataclass
+class CoupledDiagnostics:
+    """Running diagnostics collected during an integration."""
+
+    sst_sum: np.ndarray | None = None
+    sst_count: int = 0
+    precip_sum: np.ndarray | None = None
+    history_sst: list = field(default_factory=list)   # monthly-ish SST means
+    history_time: list = field(default_factory=list)
+
+    def mean_sst(self) -> np.ndarray:
+        if self.sst_count == 0:
+            raise RuntimeError("no SST samples accumulated")
+        return self.sst_sum / self.sst_count
+
+
+class FoamModel:
+    """The coupled FOAM system; one instance owns all three components."""
+
+    def __init__(self, config: FoamConfig | None = None,
+                 land_mask: np.ndarray | None = None,
+                 depth: np.ndarray | None = None):
+        self.config = config or test_config()
+        cfg = self.config
+
+        self.transform = SpectralTransform(cfg.atm_nlat, cfg.atm_nlon,
+                                           Truncation(cfg.atm_mmax))
+        self.vgrid = VerticalGrid.ccm_like(cfg.atm_nlev)
+        self.dycore = SpectralDynamicalCore(self.transform, self.vgrid,
+                                            dt=cfg.atm_dt,
+                                            robert=cfg.robert_filter)
+        self.physics = PhysicsSuite(radiation_interval=cfg.radiation_interval)
+
+        self.ocean_grid = OceanGrid(nx=cfg.ocn_nx, ny=cfg.ocn_ny,
+                                    nlev=cfg.ocn_nlev)
+        if land_mask is None or depth is None:
+            land_mask, depth = world_topography(self.ocean_grid)
+        self.ocean = OceanModel(self.ocean_grid, land_mask, depth,
+                                cfg.ocean_params)
+        self.coupler = FluxCoupler(self.transform.lats, cfg.atm_nlon,
+                                   self.ocean_grid.lats, cfg.ocn_nx,
+                                   land_mask, rng_seed=cfg.seed + 7)
+        # Running ocean-forcing accumulator between ocean calls.
+        self._reset_ocean_accumulator()
+
+    # ------------------------------------------------------------------
+    def _reset_ocean_accumulator(self) -> None:
+        ny, nx = self.ocean_grid.ny, self.ocean_grid.nx
+        self._acc = OceanForcing.zeros(ny, nx)
+        self._acc_steps = 0
+
+    def initial_state(self, seed: int | None = None) -> FoamState:
+        seed = self.config.seed if seed is None else seed
+        atm = self.dycore.initial_state("isothermal_rest", seed=seed,
+                                        noise_amplitude=1e-8)
+        # Moist initial atmosphere: ~60 % RH near the surface, drying rapidly
+        # aloft (RH * sigma^2), hard-capped at 25 g/kg — without the vertical
+        # taper the tiny saturation *pressure* aloft makes qsat explode as a
+        # mixing ratio and its condensation heats the stratosphere by
+        # hundreds of kelvin in one step.
+        diag = self.dycore.diagnose(atm)
+        from repro.util.thermo import saturation_mixing_ratio
+        rh_profile = 0.6 * self.vgrid.sigma[:, None, None] ** 2
+        atm.q = np.minimum(
+            rh_profile * saturation_mixing_ratio(diag.temp, diag.pressure),
+            0.025)
+        ocn = self.ocean.initial_state()
+        cpl = self.coupler.initial_state()
+        prev = atm
+        curr = self.dycore._forward_start(atm)
+        return FoamState(atm_prev=prev, atm_curr=curr, ocean=ocn,
+                         coupler=cpl, time=0.0)
+
+    # ------------------------------------------------------------------
+    def coupled_step(self, state: FoamState) -> FoamState:
+        """One atmosphere step of the coupled system (30 simulated minutes)."""
+        cfg = self.config
+        dt = cfg.atm_dt
+        tr = self.transform
+        curr = state.atm_curr
+        diag = self.dycore.diagnose(curr)
+        sst = self.ocean.sst(state.ocean)
+
+        # --- coupler: surface state and turbulent fluxes (overlap grid) ---
+        surface = self.coupler.surface_state_for_atm(state.coupler, sst)
+        turb = self.coupler.turbulent_fluxes(
+            state.coupler, t_air=diag.temp[-1], q_air=curr.q[-1],
+            u_air=diag.u[-1], v_air=diag.v[-1], ps=diag.ps,
+            sst_celsius=sst)
+
+        # --- atmosphere physics with coupler-owned surface fluxes ----------
+        phys = self.physics.compute(
+            temp=diag.temp, q=curr.q, u=diag.u, v=diag.v,
+            pressure=diag.pressure, ps=diag.ps,
+            geopotential=diag.geopotential, dsigma=self.vgrid.dsigma,
+            surface=surface, dt=dt, time=state.time,
+            lats=tr.lats, lons=tr.lons, external_fluxes=turb["atm"])
+
+        # Apply physics adjustments to the spectral state (process split).
+        new_curr = curr.copy()
+        for l in range(self.vgrid.nlev):
+            new_curr.temp[l] += dt * tr.analyze(phys.dtdt[l])
+            dv, dd = tr.vortdiv_from_uv(phys.dudt[l], phys.dvdt[l])
+            new_curr.vort[l] += dt * dv
+            new_curr.div[l] += dt * dd
+        new_curr.q = np.maximum(curr.q + dt * phys.dqdt, 0.0)
+
+        precip = phys.precip_conv + phys.precip_strat
+
+        # --- land, hydrology, rivers (atmosphere grid) ----------------------
+        t_sfc_atm = surface.t_sfc
+        net_sfc = (phys.fluxes["sw_sfc"] + phys.fluxes["lw_down"]
+                   - STEFAN_BOLTZMANN * t_sfc_atm**4
+                   - phys.fluxes["shf"] - phys.fluxes["lhf"])
+        new_cpl, discharge_atm, cpl_diags = self.coupler.step_land_and_rivers(
+            state.coupler, precip=precip, evap=phys.fluxes["evap"],
+            t_low1=diag.temp[-1], t_low2=diag.temp[-2],
+            net_land_flux=net_sfc, dt=dt)
+
+        # --- accumulate ocean forcing ---------------------------------------
+        ov = self.coupler.overlap
+        rad_ocn = self.coupler.surface_radiation_to_ocean(
+            sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
+            t_sfc=t_sfc_atm)
+        heat_ocn = rad_ocn - turb["ocn_turb_heat_loss"]
+        precip_ocn = ov.to_ocn(np.where(self.coupler._water_overlap,
+                                        ov.from_atm(precip), 0.0))
+        discharge_ocn = self.coupler.discharge_to_ocean_grid(discharge_atm)
+        fresh = precip_ocn - turb["ocn_evap"] + discharge_ocn
+
+        self._acc.taux += turb["ocn_taux"]
+        self._acc.tauy += turb["ocn_tauy"]
+        self._acc.heat_flux += heat_ocn
+        self._acc.freshwater += fresh
+        self._acc_steps += 1
+
+        new_ocean = state.ocean
+        new_time = state.time + dt
+
+        # --- ocean call (every 6 simulated hours) ---------------------------
+        if self._acc_steps >= cfg.atm_steps_per_coupling:
+            n = self._acc_steps
+            forcing = OceanForcing(self._acc.taux / n, self._acc.tauy / n,
+                                   self._acc.heat_flux / n,
+                                   self._acc.freshwater / n)
+            # Sea ice first: it converts persistent heat loss at the clamp
+            # into ice and shields the stress.
+            t_air_ocn = ov.to_ocn(ov.from_atm(diag.temp[-1]))
+            new_cpl, ice_fw = self.coupler.step_sea_ice(
+                new_cpl, sst_celsius=sst,
+                ocean_heat_loss=-forcing.heat_flux,
+                t_air_on_ocn=t_air_ocn,
+                dt=cfg.ocean_coupling_interval)
+            forcing.freshwater += ice_fw
+            new_ocean = self.ocean.step(state.ocean, forcing)
+            self._reset_ocean_accumulator()
+
+        # --- atmosphere dynamics step ----------------------------------------
+        new_prev, new_next = self.dycore.step(state.atm_prev, new_curr)
+        return FoamState(atm_prev=new_prev, atm_curr=new_next,
+                         ocean=new_ocean, coupler=new_cpl, time=new_time)
+
+    # ------------------------------------------------------------------
+    def run_days(self, state: FoamState, days: float,
+                 diagnostics: CoupledDiagnostics | None = None,
+                 sst_sample_interval: float = 86400.0) -> FoamState:
+        """Integrate the coupled system for ``days`` simulated days."""
+        nsteps = int(round(days * 86400.0 / self.config.atm_dt))
+        next_sample = state.time
+        for _ in range(nsteps):
+            state = self.coupled_step(state)
+            if diagnostics is not None and state.time >= next_sample:
+                sst = self.ocean.sst(state.ocean)
+                if diagnostics.sst_sum is None:
+                    diagnostics.sst_sum = np.zeros_like(np.nan_to_num(sst))
+                diagnostics.sst_sum += np.nan_to_num(sst)
+                diagnostics.sst_count += 1
+                diagnostics.history_sst.append(np.nan_to_num(sst).copy())
+                diagnostics.history_time.append(state.time)
+                next_sample += sst_sample_interval
+        return state
+
+    # ------------------------------------------------------------------
+    # budgets
+    # ------------------------------------------------------------------
+    def global_water_inventory(self, state: FoamState) -> dict:
+        """All water reservoirs (kg): atmosphere, soil, snow, rivers, ice."""
+        tr = self.transform
+        diag = self.dycore.diagnose(state.atm_curr)
+        from repro.util.constants import GRAVITY
+
+        col_q = np.tensordot(self.vgrid.dsigma, state.atm_curr.q, axes=(0, 0)) \
+            * diag.ps / GRAVITY
+        area_atm = self.coupler.atm_cell_areas
+        from repro.util.constants import RHO_WATER
+        return {
+            "atmosphere": float(np.sum(col_q * area_atm)),
+            "soil": float(np.sum(state.coupler.hydrology.soil_moisture
+                                 * RHO_WATER * area_atm)),
+            "snow": float(np.sum(state.coupler.hydrology.snow_depth
+                                 * RHO_WATER * area_atm)),
+            "rivers": self.coupler.river.total_storage() * 1000.0,
+        }

@@ -1,0 +1,130 @@
+"""Bucket hydrology: the Manabe/Budyko box model as used in FOAM.
+
+Paper: *"Precipitation is added to a 15 cm soil moisture box or to the snow
+cover, if the ground and lowest two atmosphere levels are below freezing.
+The soil moisture is used to calculate a wetness factor D_w used in the
+latent heat flux calculation.  (D_w equals 1 for land ice, sea ice, snow
+covered and ocean surfaces.)  Evaporation removes water from the box and any
+excess over 15 cm is designated as runoff and sent to the river model.  Snow
+cover modifies the properties of the upper soil layer ... Snow melt is
+calculated and added to the local soil moisture.  Snow depths greater than
+1 m liquid water equivalent are also sent to the river model to mimic the
+near-equilibrium of the Greenland and Antarctic ice sheets."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import (
+    LATENT_HEAT_FUS,
+    RHO_WATER,
+    SNOW_RUNOFF_DEPTH,
+    SOIL_MOISTURE_CAPACITY,
+    T_FREEZE,
+)
+
+# Manabe (1969): evaporation is unstressed above 75% of bucket capacity.
+WETNESS_SATURATION_FRACTION = 0.75
+
+
+@dataclass
+class HydrologyState:
+    """Soil moisture and snow depth (m liquid water equivalent)."""
+
+    soil_moisture: np.ndarray    # (nlat, nlon), meters, 0..0.15
+    snow_depth: np.ndarray      # (nlat, nlon), meters liquid equivalent
+
+    @classmethod
+    def initialized(cls, nlat: int, nlon: int,
+                    moisture_fraction: float = 0.5) -> "HydrologyState":
+        return cls(
+            soil_moisture=np.full((nlat, nlon),
+                                  moisture_fraction * SOIL_MOISTURE_CAPACITY),
+            snow_depth=np.zeros((nlat, nlon)))
+
+
+def wetness_factor(state: HydrologyState, land_ice: np.ndarray | None = None
+                   ) -> np.ndarray:
+    """The D_w latent-heat availability factor of the paper.
+
+    1 over snow cover and land ice; otherwise the Manabe ramp
+    W / (0.75 W_max) capped at 1.
+    """
+    dw = np.clip(state.soil_moisture /
+                 (WETNESS_SATURATION_FRACTION * SOIL_MOISTURE_CAPACITY), 0.0, 1.0)
+    snow_covered = state.snow_depth > 1e-4
+    dw = np.where(snow_covered, 1.0, dw)
+    if land_ice is not None:
+        dw = np.where(land_ice, 1.0, dw)
+    return dw
+
+
+def snowfall_partition(precip: np.ndarray, ground_temp: np.ndarray,
+                       t_low1: np.ndarray, t_low2: np.ndarray) -> np.ndarray:
+    """Fraction of precipitation falling as snow.
+
+    The paper's rule verbatim: snow iff the ground and the lowest two
+    atmosphere levels are all below freezing.
+    """
+    cold = (ground_temp < T_FREEZE) & (t_low1 < T_FREEZE) & (t_low2 < T_FREEZE)
+    return np.where(cold, 1.0, 0.0)
+
+
+def snow_melt_rate(snow_depth: np.ndarray, surface_temp: np.ndarray,
+                   available_energy: np.ndarray, dt: float) -> np.ndarray:
+    """Melt rate (m liquid equiv / s), energy-limited and snow-limited.
+
+    ``available_energy`` is the surface energy surplus (W/m^2) when the skin
+    is at/above freezing; it melts snow at L_f per kg.
+    """
+    warm = surface_temp >= T_FREEZE
+    rate_energy = np.maximum(available_energy, 0.0) / (LATENT_HEAT_FUS * RHO_WATER)
+    rate = np.where(warm, rate_energy, 0.0)
+    return np.minimum(rate, snow_depth / max(dt, 1e-9))
+
+
+def step_hydrology(state: HydrologyState, *, precip: np.ndarray,
+                   evaporation: np.ndarray, ground_temp: np.ndarray,
+                   t_low1: np.ndarray, t_low2: np.ndarray,
+                   melt_energy: np.ndarray, dt: float,
+                   land_mask: np.ndarray) -> tuple[HydrologyState, np.ndarray]:
+    """One hydrology step.  Returns (new state, runoff rate kg m^-2 s^-1).
+
+    ``precip`` and ``evaporation`` in kg m^-2 s^-1; runoff collects bucket
+    overflow plus excess snow (> 1 m liquid equivalent) for the river model.
+    All quantities are zero off ``land_mask``.
+    """
+    w = state.soil_moisture.copy()
+    snow = state.snow_depth.copy()
+
+    snow_frac = snowfall_partition(precip, ground_temp, t_low1, t_low2)
+    p_snow = precip * snow_frac / RHO_WATER           # m/s
+    p_rain = precip * (1.0 - snow_frac) / RHO_WATER
+
+    melt = snow_melt_rate(snow, ground_temp, melt_energy, dt)
+    snow = snow + dt * (p_snow - melt)
+    snow = np.maximum(snow, 0.0)
+
+    # Evaporation first sublimates snow, then draws the bucket.
+    evap_m = np.maximum(evaporation, 0.0) / RHO_WATER
+    from_snow = np.minimum(evap_m, snow / max(dt, 1e-9))
+    snow = np.maximum(snow - dt * from_snow, 0.0)
+    from_soil = evap_m - from_snow
+
+    w = w + dt * (p_rain + melt - from_soil)
+    w = np.maximum(w, 0.0)
+
+    overflow = np.maximum(w - SOIL_MOISTURE_CAPACITY, 0.0)
+    w = w - overflow
+
+    ice_excess = np.maximum(snow - SNOW_RUNOFF_DEPTH, 0.0)
+    snow = snow - ice_excess
+
+    runoff = (overflow + ice_excess) / max(dt, 1e-9) * RHO_WATER   # kg m^-2 s^-1
+    runoff = np.where(land_mask, runoff, 0.0)
+    w = np.where(land_mask, w, 0.0)
+    snow = np.where(land_mask, snow, 0.0)
+    return HydrologyState(soil_moisture=w, snow_depth=snow), runoff

@@ -1,0 +1,181 @@
+"""The FOAM overlap grid: exact, conservative atm <-> ocean exchange (Fig. 1).
+
+Paper: *"The model represents the globe as being divided into two grids, one
+for the atmosphere and another for the ocean.  A third decomposition of the
+surface is constructed by laying one grid on top of the other ...  The
+atmosphere/ocean exchanges, which depend on the properties of both, are
+calculated for each piece of this overlap grid and are then averaged for
+passing back to the ocean and atmosphere ...  No effort is made to
+interpolate all state variables to a single grid."*
+
+Both component grids are latitude-longitude boxes, so every overlap cell is
+itself a lat-lon box: the overlap grid is simply the outer product of the
+merged latitude edges and merged longitude edges.  Cell areas are exact
+(proportional to  d(sin lat) * d lon), so a flux computed once per overlap
+cell and area-averaged back to either grid conserves the global integral to
+round-off *by construction* — the property the closed hydrological cycle
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import EARTH_RADIUS
+
+
+def cell_edges_from_centers(centers: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Cell edges at midpoints between centers, clamped to [lo, hi]."""
+    c = np.asarray(centers, dtype=float)
+    if np.any(np.diff(c) <= 0):
+        raise ValueError("centers must be strictly increasing")
+    edges = np.empty(c.size + 1)
+    edges[1:-1] = 0.5 * (c[:-1] + c[1:])
+    edges[0] = lo
+    edges[-1] = hi
+    return edges
+
+
+def lon_edges_uniform(nlon: int) -> np.ndarray:
+    """Edges of nlon uniform longitude cells centered on 2 pi i / n."""
+    dlon = 2.0 * np.pi / nlon
+    return -0.5 * dlon + dlon * np.arange(nlon + 1)
+
+
+def _merge_edges(edges_a: np.ndarray, edges_b: np.ndarray,
+                 tol: float = 1e-12) -> np.ndarray:
+    merged = np.union1d(edges_a, edges_b)
+    # Collapse near-duplicates (same physical edge from both grids).
+    keep = np.concatenate([[True], np.diff(merged) > tol])
+    return merged[keep]
+
+
+def _band_owner(band_centers: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Index of the source cell containing each band center; -1 outside."""
+    idx = np.searchsorted(edges, band_centers) - 1
+    idx[(band_centers < edges[0]) | (band_centers > edges[-1])] = -1
+    return np.clip(idx, -1, len(edges) - 2)
+
+
+@dataclass
+class OverlapGrid:
+    """Conservative exchange operator between an atmosphere and an ocean grid.
+
+    Parameters are the *centers* of the two grids' cells: atmosphere
+    (Gaussian latitudes spanning pole to pole) and ocean (Mercator latitudes
+    spanning less than pole to pole — the polar caps are atmosphere-over-land
+    or over the ice model, not open ocean).
+    """
+
+    atm_lats: np.ndarray      # radians, increasing
+    atm_nlon: int
+    ocn_lats: np.ndarray
+    ocn_nlon: int
+
+    def __post_init__(self):
+        a_lat_edges = cell_edges_from_centers(self.atm_lats, -np.pi / 2, np.pi / 2)
+        o_lo = 1.5 * self.ocn_lats[0] - 0.5 * self.ocn_lats[1]
+        o_hi = 1.5 * self.ocn_lats[-1] - 0.5 * self.ocn_lats[-2]
+        o_lat_edges = cell_edges_from_centers(self.ocn_lats, o_lo, o_hi)
+        self._o_lat_edges = o_lat_edges
+        self._a_lat_edges = a_lat_edges
+        lat_edges = _merge_edges(a_lat_edges, o_lat_edges)
+        self.lat_edges = lat_edges
+        lat_centers = 0.5 * (lat_edges[:-1] + lat_edges[1:])
+        self.a_lat_of = _band_owner(lat_centers, a_lat_edges)
+        self.o_lat_of = _band_owner(lat_centers, o_lat_edges)
+
+        a_lon_edges = lon_edges_uniform(self.atm_nlon)
+        o_lon_edges = lon_edges_uniform(self.ocn_nlon)
+        # Merge in [lon0, lon0 + 2pi); both start at -dlon/2 of their own grid.
+        lo = min(a_lon_edges[0], o_lon_edges[0])
+        a_shift = np.sort(np.mod(a_lon_edges[:-1] - lo, 2 * np.pi))
+        o_shift = np.sort(np.mod(o_lon_edges[:-1] - lo, 2 * np.pi))
+        lon_edges = _merge_edges(np.concatenate([a_shift, [2 * np.pi]]),
+                                 np.concatenate([o_shift, [2 * np.pi]]))
+        self.lon_edges = lon_edges
+        self._lon_lo = lo
+        lon_centers = 0.5 * (lon_edges[:-1] + lon_edges[1:]) + lo
+        self.a_lon_of = (np.searchsorted(a_lon_edges, np.mod(
+            lon_centers - a_lon_edges[0], 2 * np.pi) + a_lon_edges[0]) - 1) % self.atm_nlon
+        self.o_lon_of = (np.searchsorted(o_lon_edges, np.mod(
+            lon_centers - o_lon_edges[0], 2 * np.pi) + o_lon_edges[0]) - 1) % self.ocn_nlon
+
+        # Exact areas (m^2): R^2 * d(sin lat) * d lon.
+        dsin = np.diff(np.sin(lat_edges))
+        dlon = np.diff(lon_edges)
+        self.areas = EARTH_RADIUS**2 * np.outer(dsin, dlon)
+        self.nlat = self.areas.shape[0]
+        self.nlon = self.areas.shape[1]
+        self._build_weights()
+
+    # ------------------------------------------------------------------
+    def _build_weights(self) -> None:
+        """Per-target-cell area normalizations for the averaging passes."""
+        self._atm_area = np.zeros((len(self.atm_lats), self.atm_nlon))
+        np.add.at(self._atm_area,
+                  (self.a_lat_of[:, None] * np.ones_like(self.a_lon_of[None, :]),
+                   np.ones_like(self.a_lat_of[:, None]) * self.a_lon_of[None, :]),
+                  self.areas)
+        valid = self.ocean_valid_mask()
+        self._ocn_area = np.zeros((len(self.ocn_lats), self.ocn_nlon))
+        o_lat = np.where(self.o_lat_of >= 0, self.o_lat_of, 0)
+        np.add.at(self._ocn_area,
+                  (o_lat[:, None] * np.ones_like(self.o_lon_of[None, :], dtype=int),
+                   np.ones_like(o_lat[:, None], dtype=int) * self.o_lon_of[None, :]),
+                  np.where(valid, self.areas, 0.0))
+
+    def ocean_valid_mask(self) -> np.ndarray:
+        """(nlat, nlon) overlap cells that lie inside the ocean grid's span."""
+        return (self.o_lat_of >= 0)[:, None] & np.ones(self.nlon, dtype=bool)[None, :]
+
+    # ------------------------------------------------------------------
+    # gather: component grid -> overlap grid (no interpolation: piecewise const)
+    # ------------------------------------------------------------------
+    def from_atm(self, field: np.ndarray) -> np.ndarray:
+        """(atm_nlat, atm_nlon) -> (nlat, nlon) by indexing (Fig 1(b) region ii)."""
+        return field[np.ix_(self.a_lat_of, self.a_lon_of)]
+
+    def from_ocn(self, field: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        """(ocn_nlat, ocn_nlon) -> overlap; cells outside the ocean span get fill."""
+        o_lat = np.where(self.o_lat_of >= 0, self.o_lat_of, 0)
+        out = field[np.ix_(o_lat, self.o_lon_of)]
+        return np.where(self.ocean_valid_mask(), out, fill)
+
+    # ------------------------------------------------------------------
+    # scatter: overlap grid -> component grid (area-weighted average)
+    # ------------------------------------------------------------------
+    def to_atm(self, overlap_field: np.ndarray) -> np.ndarray:
+        """Area-average the overlap field onto the atmosphere grid."""
+        out = np.zeros((len(self.atm_lats), self.atm_nlon))
+        np.add.at(out,
+                  (self.a_lat_of[:, None] * np.ones_like(self.a_lon_of[None, :]),
+                   np.ones_like(self.a_lat_of[:, None]) * self.a_lon_of[None, :]),
+                  overlap_field * self.areas)
+        return out / np.maximum(self._atm_area, 1e-30)
+
+    def to_ocn(self, overlap_field: np.ndarray) -> np.ndarray:
+        """Area-average the overlap field onto the ocean grid."""
+        out = np.zeros((len(self.ocn_lats), self.ocn_nlon))
+        valid = self.ocean_valid_mask()
+        o_lat = np.where(self.o_lat_of >= 0, self.o_lat_of, 0)
+        np.add.at(out,
+                  (o_lat[:, None] * np.ones_like(self.o_lon_of[None, :], dtype=int),
+                   np.ones_like(o_lat[:, None], dtype=int) * self.o_lon_of[None, :]),
+                  np.where(valid, overlap_field * self.areas, 0.0))
+        return out / np.maximum(self._ocn_area, 1e-30)
+
+    # ------------------------------------------------------------------
+    def integrate(self, overlap_field: np.ndarray) -> float:
+        """Exact global integral of an overlap field (flux * area)."""
+        return float(np.sum(overlap_field * self.areas))
+
+    def integrate_atm(self, field: np.ndarray) -> float:
+        """Global integral of an atmosphere-grid field using overlap areas."""
+        return float(np.sum(field * self._atm_area))
+
+    def integrate_ocn(self, field: np.ndarray) -> float:
+        """Integral of an ocean-grid field over the ocean grid's span."""
+        return float(np.sum(field * self._ocn_area))

@@ -1,0 +1,46 @@
+"""The FOAM ocean: fast z-coordinate model with triple-rate time stepping.
+
+Paper section "The FOAM Ocean Model": an unstaggered 128x128 Mercator grid,
+16 stretched z levels, Pacanowski-Philander mixing with a steepened
+Richardson dependence, del^4 dissipation, a polar Fourier filter, and three
+speedup techniques — slowed free surface, barotropic/baroclinic splitting,
+and multi-rate subcycling — claimed to make it "the most computationally
+efficient ocean model in existence".
+"""
+
+from repro.ocean.grid import (
+    OceanGrid,
+    aquaplanet_topography,
+    mercator_latitudes,
+    stretched_depths,
+    world_topography,
+)
+from repro.ocean.eos import (
+    buoyancy_frequency_sq,
+    density,
+    density_anomaly,
+    thermal_expansion,
+)
+from repro.ocean.mixing import (
+    PPMixingParams,
+    convective_adjustment,
+    mix_column_implicit,
+    pp_viscosity,
+    richardson_number,
+)
+from repro.ocean.barotropic import BarotropicParams, BarotropicSolver
+from repro.ocean.filters import apply_polar_filter, polar_filter_factors
+from repro.ocean.model import OceanForcing, OceanModel, OceanParams, OceanState
+from repro.ocean.baseline import ConventionalOceanModel
+
+__all__ = [
+    "OceanGrid", "aquaplanet_topography", "mercator_latitudes",
+    "stretched_depths", "world_topography",
+    "buoyancy_frequency_sq", "density", "density_anomaly", "thermal_expansion",
+    "PPMixingParams", "convective_adjustment", "mix_column_implicit",
+    "pp_viscosity", "richardson_number",
+    "BarotropicParams", "BarotropicSolver",
+    "apply_polar_filter", "polar_filter_factors",
+    "OceanForcing", "OceanModel", "OceanParams", "OceanState",
+    "ConventionalOceanModel",
+]

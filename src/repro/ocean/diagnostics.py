@@ -1,0 +1,80 @@
+"""Ocean circulation diagnostics: streamfunction, transports, overturning.
+
+The standard instruments for judging whether a wind-driven spin-up produced
+the right circulation: the barotropic streamfunction (gyres), section
+transports in Sverdrups (e.g. the ACC through Drake Passage), and the
+zonal-mean meridional overturning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ocean.grid import OceanGrid
+from repro.ocean.model import OceanModel, OceanState
+
+SVERDRUP = 1.0e6   # m^3/s
+
+
+def barotropic_streamfunction(model: OceanModel, state: OceanState
+                              ) -> np.ndarray:
+    """Psi (Sv) with U = -dPsi/dy: integrate zonal transport northward.
+
+    Cumulative integral of the depth-integrated zonal velocity from the
+    southern wall; closed (constant) on land by construction of the masks.
+    """
+    u, _ = model.total_velocity(state)
+    uz = np.sum(u * model.dz3d, axis=0)             # depth-integrated (m^2/s)
+    dy = model.grid.dy[:, None]
+    psi = -np.cumsum(uz * dy, axis=0)
+    return np.where(model.mask2d, psi / SVERDRUP, np.nan)
+
+
+def zonal_section_transport(model: OceanModel, state: OceanState,
+                            lon_index: int, lat_lo_deg: float,
+                            lat_hi_deg: float) -> float:
+    """Eastward volume transport (Sv) through a meridional section."""
+    u, _ = model.total_velocity(state)
+    lat_d = np.degrees(model.grid.lats)
+    rows = (lat_d >= lat_lo_deg) & (lat_d <= lat_hi_deg)
+    uz = np.sum(u[:, rows, lon_index]
+                * model.dz3d[:, rows, lon_index], axis=0)    # m^2/s per row
+    dy = model.grid.dy[rows]
+    return float(np.sum(uz * dy) / SVERDRUP)
+
+
+def drake_passage_transport(model: OceanModel, state: OceanState) -> float:
+    """ACC transport through the Drake Passage gap (~295E, 49.5-64S)."""
+    lon_d = np.degrees(model.grid.lons)
+    i = int(np.argmin(np.abs(lon_d - 295.0)))
+    return zonal_section_transport(model, state, i, -64.0, -49.5)
+
+
+def meridional_overturning(model: OceanModel, state: OceanState
+                           ) -> np.ndarray:
+    """Zonal-mean overturning streamfunction (Sv), shape (nlev+1, ny).
+
+    Psi(z, y) = integral over x and over depth (surface down to z) of v;
+    positive cells = clockwise circulation in the (y, z) plane viewed with
+    north to the right.
+    """
+    _, v = model.total_velocity(state)
+    dx = model.grid.dx[:, None]
+    vdx = np.sum(v * dx[None], axis=2)                 # (L, ny): m^2/s
+    vdz = vdx * model.grid.dz[:, None]                 # m^3/s per layer
+    psi = np.zeros((model.grid.nlev + 1, model.grid.ny))
+    psi[1:] = np.cumsum(vdz, axis=0)
+    return psi / SVERDRUP
+
+
+def mixed_layer_depth(model: OceanModel, state: OceanState,
+                      delta_t: float = 0.5) -> np.ndarray:
+    """Depth (m) where temperature first drops ``delta_t`` below the surface."""
+    g = model.grid
+    t0 = state.temp[0]
+    below = state.temp < (t0[None] - delta_t)
+    below &= model.mask3d
+    # First True level per column; full column depth if never.
+    first = np.where(below.any(axis=0), below.argmax(axis=0), g.nlev - 1)
+    mld = g.z_full[first]
+    return np.where(model.mask2d, mld, np.nan)

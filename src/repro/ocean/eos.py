@@ -1,0 +1,60 @@
+"""Equation of state for seawater.
+
+A quadratic fit to the UNESCO (1981) equation in the oceanographically
+relevant range (-2..32 C, 30..40 psu), with thermobaric deepening — the same
+class of simplified EOS the GFDL Modular Ocean Model (the paper's dynamical
+ancestor, ref [29]) shipped as its fast option.  Density is returned as the
+deviation from the Boussinesq reference ``RHO_SEAWATER``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import RHO_SEAWATER
+
+# Fit coefficients about the reference state (T0, S0).
+T0 = 10.0      # deg C
+S0 = 35.0      # psu
+ALPHA0 = 0.17     # kg m^-3 K^-1 thermal expansion at T0 (rho units)
+ALPHA_T = 0.0062  # K^-2: expansion grows with temperature (nonlinearity)
+BETA = 0.76      # kg m^-3 psu^-1 haline contraction
+GAMMA_Z = 4.5e-5  # kg m^-3 per m: pressure (depth) effect on in-situ density
+
+
+def density_anomaly(temp_c: np.ndarray, salt: np.ndarray,
+                    depth_m: np.ndarray | float = 0.0) -> np.ndarray:
+    """In-situ density minus RHO_SEAWATER (kg m^-3).
+
+    ``temp_c`` in Celsius, ``salt`` in psu, ``depth_m`` positive downward.
+    """
+    t = np.asarray(temp_c, dtype=float)
+    s = np.asarray(salt, dtype=float)
+    dt = t - T0
+    return (-ALPHA0 * dt - 0.5 * ALPHA_T * dt * dt
+            + BETA * (s - S0) + GAMMA_Z * np.asarray(depth_m, dtype=float))
+
+
+def density(temp_c, salt, depth_m=0.0) -> np.ndarray:
+    """Full in-situ density (kg m^-3)."""
+    return RHO_SEAWATER + density_anomaly(temp_c, salt, depth_m)
+
+
+def thermal_expansion(temp_c) -> np.ndarray:
+    """-d(rho)/dT (kg m^-3 K^-1), increasing with temperature."""
+    return ALPHA0 + ALPHA_T * (np.asarray(temp_c, dtype=float) - T0)
+
+
+def buoyancy_frequency_sq(temp_c: np.ndarray, salt: np.ndarray,
+                          z_full: np.ndarray) -> np.ndarray:
+    """N^2 (s^-2) at interior interfaces from the local density gradient.
+
+    ``temp_c``/``salt`` are (nlev, ...); ``z_full`` (nlev,) layer-center
+    depths.  Positive N^2 = stable stratification.
+    """
+    from repro.util.constants import GRAVITY
+
+    rho = density_anomaly(temp_c, salt, 0.0)  # potential density (no z term)
+    dz = (z_full[1:] - z_full[:-1]).reshape((-1,) + (1,) * (rho.ndim - 1))
+    drho = rho[1:] - rho[:-1]                 # positive when denser below
+    return GRAVITY / RHO_SEAWATER * drho / dz

@@ -1,0 +1,90 @@
+"""Polar Fourier filter for the ocean grid.
+
+Paper: *"A spatial filter similar to the sort used in atmospheric models
+[CCM1] is used to maintain numerical stability in the Arctic."*  Poleward of
+a critical latitude the zonal grid spacing shrinks as cos(lat) and the CFL
+condition would otherwise force a tiny time step; the classic fix is to
+damp zonal wavenumbers that the converged meridians cannot stably carry.
+
+The filter multiplies each row's zonal Fourier spectrum by
+``min(1, (cos(lat)/cos(lat_crit)) * (m_crit/m))`` — wavenumbers resolvable at
+the critical latitude pass untouched, higher ones are attenuated in
+proportion to the meridian convergence.  Rows with any land are filtered in
+segments? No — following the original models, land rows are simply exempt
+(the Arctic rows of FOAM's grid are open ocean on this topography).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def polar_filter_factors(nx: int, coslat_row: float, coslat_crit: float) -> np.ndarray:
+    """Attenuation per rfft wavenumber for one row."""
+    m = np.arange(nx // 2 + 1, dtype=float)
+    if coslat_row >= coslat_crit or coslat_row <= 0.0:
+        return np.ones_like(m)
+    # Full pass below the cutoff wavenumber set by the meridian convergence,
+    # quadratic roll-off above it; the zonal mean always passes.
+    m_cut = max(1.0, (coslat_row / coslat_crit) * (nx // 2))
+    factors = np.minimum(1.0, (m_cut / np.maximum(m, 1e-9)) ** 2)
+    factors[0] = 1.0
+    return factors
+
+
+def masked_zonal_smooth(row: np.ndarray, row_mask: np.ndarray,
+                        passes: int) -> np.ndarray:
+    """Mask-aware 1-2-1 zonal smoother for rows with coastline.
+
+    Each pass multiplies wavenumber k by (0.5 + 0.5 cos(k dx)) on open water;
+    weights of land neighbours are folded back into the center so land values
+    never leak into the ocean and the masked row sum is preserved per pass
+    up to the no-flux closure.  ``row`` has shape (..., nx).
+    """
+    out = row.copy()
+    east_open = row_mask & np.roll(row_mask, -1)
+    west_open = row_mask & np.roll(row_mask, 1)
+    for _ in range(passes):
+        east = np.roll(out, -1, axis=-1)
+        west = np.roll(out, 1, axis=-1)
+        w_e = np.where(east_open, 0.25, 0.0)
+        w_w = np.where(west_open, 0.25, 0.0)
+        w_c = 1.0 - w_e - w_w
+        out = np.where(row_mask, w_c * out + w_e * east + w_w * west, out)
+    return out
+
+
+def apply_polar_filter(field: np.ndarray, lats: np.ndarray, mask: np.ndarray,
+                       lat_crit_deg: float = 60.0) -> np.ndarray:
+    """Filter rows poleward of ``lat_crit_deg``.
+
+    Fully open rows get the exact Fourier filter; rows containing closed
+    cells (coastline, or sea floor intersecting a deep level — a periodic
+    FFT would smear those placeholder values into the sea) get the
+    mask-aware 1-2-1 smoother with a pass count matched to the meridian
+    convergence.
+
+    ``field`` is (..., ny, nx); ``mask`` is (ny, nx) for 2-D fields or the
+    full (..., ny, nx) 3-D mask for level fields.  The zonal mean of open
+    rows is preserved exactly (wavenumber zero unfiltered).
+    """
+    out = field.copy()
+    nx = field.shape[-1]
+    coslat_crit = np.cos(np.deg2rad(lat_crit_deg))
+    coslat = np.cos(lats)
+    for j in range(len(lats)):
+        if coslat[j] >= coslat_crit:
+            continue
+        row_mask = mask[..., j, :]        # (nx,) or (L, nx)
+        slab = out[..., j, :]
+        if row_mask.all():
+            factors = polar_filter_factors(nx, float(coslat[j]), float(coslat_crit))
+            spec = np.fft.rfft(slab, axis=-1)
+            spec *= factors
+            out[..., j, :] = np.fft.irfft(spec, n=nx, axis=-1)
+        else:
+            # Pass count grows as the meridians converge.
+            ratio = coslat_crit / max(float(coslat[j]), 1e-3)
+            passes = int(np.clip(np.ceil(ratio), 1, 8))
+            out[..., j, :] = masked_zonal_smooth(slab, row_mask, passes)
+    return out

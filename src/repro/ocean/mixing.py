@@ -1,0 +1,119 @@
+"""Vertical mixing: Pacanowski-Philander (1981) with a steeper Ri dependence.
+
+Paper: *"The ocean model uses the vertical mixing scheme of [Pacanowski &
+Philander 1981] but with a steeper Reynolds [Richardson] number dependency
+consistent with the observational analysis of [Peters, Gregg & Toole 1988].
+The revised mixing values appear to improve the tropical Pacific SST field
+by reducing the model cold bias in the west equatorial Pacific."*
+
+PP81:  nu = nu0 / (1 + a Ri)^n + nu_b,   kappa = nu / (1 + a Ri) + kappa_b
+with n = 2 originally; FOAM's revision steepens the exponent.  Convective
+instability (Ri < 0) gets the large convective-adjustment diffusivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PPMixingParams:
+    nu0: float = 5.0e-3          # m^2/s, maximum shear-driven viscosity
+    alpha: float = 5.0
+    exponent: float = 3.0        # FOAM's steepened value (PP81 used 2)
+    nu_background: float = 1.0e-4
+    kappa_background: float = 1.0e-5
+    convective_kappa: float = 1.0  # m^2/s applied where Ri < 0 (unstable)
+    ri_max: float = 100.0
+
+
+def richardson_number(u: np.ndarray, v: np.ndarray, n_sq: np.ndarray,
+                      z_full: np.ndarray) -> np.ndarray:
+    """Gradient Richardson number at interior interfaces: Ri = N^2 / |dU/dz|^2."""
+    dz = (z_full[1:] - z_full[:-1]).reshape((-1,) + (1,) * (u.ndim - 1))
+    du = (u[1:] - u[:-1]) / dz
+    dv = (v[1:] - v[:-1]) / dz
+    shear2 = du * du + dv * dv + 1e-10
+    return n_sq / shear2
+
+
+def pp_viscosity(ri: np.ndarray, p: PPMixingParams = PPMixingParams()
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """(viscosity, diffusivity) at interfaces from the Richardson number."""
+    ri_c = np.clip(ri, 0.0, p.ri_max)
+    denom = (1.0 + p.alpha * ri_c)
+    nu = p.nu0 / denom**p.exponent + p.nu_background
+    kappa = (p.nu0 / denom**p.exponent) / denom + p.kappa_background
+    unstable = ri < 0.0
+    kappa = np.where(unstable, p.convective_kappa, kappa)
+    nu = np.where(unstable, p.convective_kappa, nu)
+    return nu, kappa
+
+
+def mix_column_implicit(field: np.ndarray, kappa_half: np.ndarray,
+                        dz: np.ndarray, dt: float,
+                        surface_flux: np.ndarray | None = None,
+                        mask: np.ndarray | None = None) -> np.ndarray:
+    """Implicit vertical diffusion of (nlev, ...) with interface diffusivities.
+
+    ``surface_flux`` (units of field times m/s) enters the top layer.
+    Zero flux through the bottom.  ``mask`` (L, ...) marks active cells;
+    interfaces touching an inactive cell carry no flux (the sea floor).
+    Uses the shared tridiagonal solver.
+    """
+    from repro.atmosphere.physics.boundary_layer import solve_tridiagonal
+
+    if mask is not None:
+        kappa_half = np.where(mask[:-1] & mask[1:], kappa_half, 0.0)
+    L = field.shape[0]
+    dzf = dz.reshape((-1,) + (1,) * (field.ndim - 1))
+    dzh = 0.5 * (dzf[:-1] + dzf[1:])
+    a = np.zeros_like(field)
+    c = np.zeros_like(field)
+    a[1:] = -dt * kappa_half / (dzf[1:] * dzh)
+    c[:-1] = -dt * kappa_half / (dzf[:-1] * dzh)
+    b = 1.0 - a - c
+    rhs = field.copy()
+    if surface_flux is not None:
+        rhs[0] = rhs[0] + dt * surface_flux / dzf[0]
+    return solve_tridiagonal(a, b, c, rhs)
+
+
+def convective_adjustment(temp: np.ndarray, salt: np.ndarray,
+                          z_full: np.ndarray, dz: np.ndarray,
+                          passes: int = 3,
+                          mask: np.ndarray | None = None
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Classic pairwise convective adjustment: homogenize unstable pairs.
+
+    Conserves the column heat and salt content exactly (thickness-weighted
+    means); repeated passes handle deep instabilities.  ``mask`` (L, ...)
+    marks active cells; a pair is only adjusted when both levels are active
+    (inactive cells hold placeholder values that must never mix in).
+    """
+    from repro.ocean.eos import density_anomaly
+
+    t = temp.copy()
+    s = salt.copy()
+    L = t.shape[0]
+    dzf = dz.reshape((-1,) + (1,) * (t.ndim - 1))
+    for _ in range(passes):
+        rho = density_anomaly(t, s, 0.0)
+        for k in range(L - 1):
+            unstable = rho[k] > rho[k + 1] + 1e-12
+            if mask is not None:
+                unstable &= mask[k] & mask[k + 1]
+            if not np.any(unstable):
+                continue
+            w0 = dzf[k] / (dzf[k] + dzf[k + 1])
+            w1 = 1.0 - w0
+            t_mix = w0 * t[k] + w1 * t[k + 1]
+            s_mix = w0 * s[k] + w1 * s[k + 1]
+            t[k] = np.where(unstable, t_mix, t[k])
+            t[k + 1] = np.where(unstable, t_mix, t[k + 1])
+            s[k] = np.where(unstable, s_mix, s[k])
+            s[k + 1] = np.where(unstable, s_mix, s[k + 1])
+            rho = density_anomaly(t, s, 0.0)
+    return t, s

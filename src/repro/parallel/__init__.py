@@ -1,0 +1,30 @@
+"""Message-passing substrate: simulated MPI, domain decomposition, tracing.
+
+FOAM's third and fourth design strategies (paper section 3) are
+distributed-memory message passing via MPI.  This package provides the
+in-process equivalent: :func:`run_ranks` spins up rank threads exchanging
+real NumPy arrays through :class:`SimComm`, on which the decompositions and
+distributed transposes of the component models are built.
+"""
+
+from repro.parallel.simmpi import ANY_SOURCE, ANY_TAG, CommError, SimComm, run_ranks
+from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
+from repro.parallel.transpose import transpose_backward, transpose_forward
+from repro.parallel.trace import ACTIVITIES, RankTrace, Segment, TraceSet
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommError",
+    "SimComm",
+    "run_ranks",
+    "BlockDecomp1D",
+    "BlockDecomp2D",
+    "block_bounds",
+    "transpose_forward",
+    "transpose_backward",
+    "ACTIVITIES",
+    "RankTrace",
+    "Segment",
+    "TraceSet",
+]

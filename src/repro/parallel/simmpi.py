@@ -1,0 +1,310 @@
+"""A simulated MPI layer: real message passing between rank threads.
+
+The paper's fourth design element is the use of MPI for all interprocessor
+communication.  This module provides a faithful in-process stand-in: each
+rank runs in its own thread, and ranks exchange *real* NumPy arrays through
+blocking point-to-point channels.  Collectives (bcast, reduce, allreduce,
+gather, scatter, alltoall, barrier) are implemented on top of point-to-point
+using the standard binomial-tree / pairwise-exchange algorithms, exactly as a
+portable MPI implementation would layer them.
+
+The goal is functional fidelity, not wall-clock parallel speedup: code that
+runs correctly on this layer (halo exchanges, spectral transposes, coupler
+gathers) is structured the same way the Fortran+MPI original was.  The
+companion ``repro.perf`` package models the *timing* of these exchanges on an
+IBM SP2-like machine.
+
+Typical usage::
+
+    def worker(comm):
+        data = comm.bcast(payload if comm.rank == 0 else None, root=0)
+        ...
+        return comm.allreduce(local_sum, op="sum")
+
+    results = run_ranks(4, worker)
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+_DEFAULT_TIMEOUT = 120.0  # seconds before declaring deadlock in tests
+
+
+class CommError(RuntimeError):
+    """Raised on misuse of the communicator (bad rank, deadlock timeout)."""
+
+
+@dataclass
+class _Mailbox:
+    """Per-destination-rank mailbox holding (source, tag, payload) messages."""
+
+    q: "queue.Queue[tuple[int, int, Any]]" = field(default_factory=queue.Queue)
+    # Messages popped while matching a selective recv, awaiting re-delivery.
+    stash: list[tuple[int, int, Any]] = field(default_factory=list)
+
+
+class SimComm:
+    """Communicator for one rank of a simulated MPI world.
+
+    Mirrors the mpi4py API subset the model uses.  Lower-case methods move
+    arbitrary Python objects; arrays are passed by reference after a defensive
+    copy at send time (MPI semantics: the send buffer may be reused by the
+    sender immediately after ``send`` returns).
+    """
+
+    def __init__(self, rank: int, size: int, mailboxes: list[_Mailbox],
+                 barrier: threading.Barrier, timeout: float = _DEFAULT_TIMEOUT):
+        if not 0 <= rank < size:
+            raise CommError(f"rank {rank} out of range for world size {size}")
+        self.rank = rank
+        self.size = size
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+        self._timeout = timeout
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        # Collective sequence number: every rank calls collectives in the
+        # same order, so stamping the tag with a per-call counter keeps
+        # back-to-back collectives from consuming each other's messages.
+        self._collective_seq = 0
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking standard-mode send (buffered: never deadlocks by itself)."""
+        if not 0 <= dest < self.size:
+            raise CommError(f"send: bad destination rank {dest}")
+        payload = _copy_payload(obj)
+        self.bytes_sent += _payload_nbytes(payload)
+        self.messages_sent += 1
+        self._mailboxes[dest].q.put((self.rank, tag, payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive matching (source, tag); wildcards allowed."""
+        box = self._mailboxes[self.rank]
+        # First scan the stash of previously unmatched messages.
+        for i, (src, t, payload) in enumerate(box.stash):
+            if _match(src, t, source, tag):
+                box.stash.pop(i)
+                return payload
+        while True:
+            try:
+                src, t, payload = box.q.get(timeout=self._timeout)
+            except queue.Empty:
+                raise CommError(
+                    f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
+                    f"after {self._timeout}s — likely deadlock") from None
+            if _match(src, t, source, tag):
+                return payload
+            box.stash.append((src, t, payload))
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive; safe for shift patterns (send is buffered)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # collectives (layered on point-to-point, as in a portable MPI)
+    # ------------------------------------------------------------------
+    def _collective_tag(self, base: int) -> int:
+        self._collective_seq += 1
+        return base + self._collective_seq
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError:
+            raise CommError(f"rank {self.rank}: barrier broken (deadlock or peer died)")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast from root; returns the object on all ranks."""
+        tag = self._collective_tag(_TAG_BCAST)
+        rel = (self.rank - root) % self.size
+        # Receive phase: a non-root rank receives from the parent at its
+        # lowest set bit (standard MPICH binomial tree).
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                obj = self.recv(source=(rel - mask + root) % self.size, tag=tag)
+                break
+            mask <<= 1
+        # Send phase: forward to children at all lower bits, descending.
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < self.size:
+                self.send(obj, dest=(rel + mask + root) % self.size, tag=tag)
+            mask >>= 1
+        return obj
+
+    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
+        """Binomial-tree reduction to root; returns result on root, None elsewhere."""
+        tag = self._collective_tag(_TAG_REDUCE)
+        rel = (self.rank - root) % self.size
+        acc = obj
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                self.send(acc, dest=(rel - mask + root) % self.size, tag=tag)
+                break
+            partner = rel + mask
+            if partner < self.size:
+                other = self.recv(source=(partner + root) % self.size, tag=tag)
+                acc = _combine(acc, other, op)
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: str = "sum") -> Any:
+        """Reduce-then-broadcast allreduce."""
+        result = self.reduce(obj, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank into a list on root (rank order)."""
+        tag = self._collective_tag(_TAG_GATHER)
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = _copy_payload(obj)
+            for _ in range(self.size - 1):
+                src, payload = self.recv(source=ANY_SOURCE, tag=tag)
+                out[src] = payload
+            return out
+        self.send((self.rank, obj), dest=root, tag=tag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather to root then broadcast the full list."""
+        full = self.gather(obj, root=0)
+        return self.bcast(full, root=0)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter a sequence of world-size objects from root."""
+        tag = self._collective_tag(_TAG_SCATTER)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommError(f"scatter: root must supply {self.size} items")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(objs[dest], dest=dest, tag=tag)
+            return _copy_payload(objs[root])
+        return self.recv(source=root, tag=tag)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all via pairwise exchange rounds.
+
+        This is the communication kernel of the parallel spectral transform
+        (Foster & Worley 1997): each rank sends a distinct block to every
+        other rank.
+        """
+        if len(objs) != self.size:
+            raise CommError(f"alltoall: need {self.size} items, got {len(objs)}")
+        tag = self._collective_tag(_TAG_ALLTOALL)
+        out: list[Any] = [None] * self.size
+        out[self.rank] = _copy_payload(objs[self.rank])
+        for step in range(1, self.size):
+            dest = (self.rank + step) % self.size
+            src = (self.rank - step) % self.size
+            out[src] = self.sendrecv(objs[dest], dest=dest, source=src,
+                                     sendtag=tag, recvtag=tag)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimComm(rank={self.rank}, size={self.size})"
+
+
+_TAG_BCAST = 1 << 30
+_TAG_REDUCE = 2 << 30
+_TAG_GATHER = 3 << 30
+_TAG_SCATTER = 4 << 30
+_TAG_ALLTOALL = 5 << 30
+
+
+def _match(src: int, tag: int, want_src: int, want_tag: int) -> bool:
+    return (want_src in (ANY_SOURCE, src)) and (want_tag in (ANY_TAG, tag))
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy send buffers so the sender may safely reuse them (MPI semantics)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_copy_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _payload_nbytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_nbytes(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v) for v in obj.values())
+    return 64  # rough envelope for small scalars/objects
+
+
+def _combine(a: Any, b: Any, op: str) -> Any:
+    if op == "sum":
+        return a + b
+    if op == "max":
+        return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+    if op == "min":
+        return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+    if op == "prod":
+        return a * b
+    raise CommError(f"unsupported reduction op {op!r}")
+
+
+def run_ranks(size: int, fn: Callable[[SimComm], Any], *,
+              timeout: float = _DEFAULT_TIMEOUT, args: tuple = ()) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` rank threads; return per-rank results.
+
+    Exceptions on any rank are re-raised in the caller (first by rank order),
+    after all threads have been joined, so a failing test reports the real
+    error instead of a deadlock.
+    """
+    if size < 1:
+        raise CommError(f"world size must be >= 1, got {size}")
+    mailboxes = [_Mailbox() for _ in range(size)]
+    barrier = threading.Barrier(size)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = SimComm(rank, size, mailboxes, barrier, timeout=timeout)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - propagate to main thread
+            errors[rank] = exc
+            barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 10.0)
+    # Prefer the root-cause exception: when one rank dies it aborts the
+    # barrier, so peers fail with secondary CommErrors we should not mask.
+    real = [e for e in errors if e is not None and not isinstance(e, CommError)]
+    if real:
+        raise real[0]
+    for err in errors:
+        if err is not None:
+            raise err
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise CommError(f"{len(alive)} rank thread(s) failed to finish (deadlock?)")
+    return results

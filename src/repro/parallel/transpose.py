@@ -1,0 +1,59 @@
+"""Distributed transpose for the parallel spectral transform.
+
+PCCM2's spectral transform (Foster & Worley 1997, ref [8] of the paper) keeps
+gridpoint fields decomposed by latitude band.  The Legendre transform,
+however, needs *all* latitudes for a given zonal wavenumber m.  The standard
+solution is a transpose: re-decompose from latitude-bands to wavenumber-bands
+with a personalized all-to-all, do the (now local) Legendre sums, and
+transpose back.
+
+This module implements that transpose over :class:`SimComm` for 2-D arrays
+``(nlat, nm)`` — rows = latitudes, columns = Fourier coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.decomp import block_bounds
+from repro.parallel.simmpi import SimComm
+
+
+def transpose_forward(comm: SimComm, local_rows: np.ndarray, nrows: int, ncols: int) -> np.ndarray:
+    """From row-decomposed to column-decomposed layout.
+
+    Parameters
+    ----------
+    local_rows:
+        This rank's block of rows, shape ``(my_rows, ncols)``.
+    nrows, ncols:
+        Global array dimensions.
+
+    Returns
+    -------
+    ndarray of shape ``(nrows, my_cols)`` — every global row, but only this
+    rank's block of columns.
+    """
+    if local_rows.ndim != 2 or local_rows.shape[1] != ncols:
+        raise ValueError(f"local_rows must be (my_rows, {ncols}), got {local_rows.shape}")
+    sendblocks = []
+    for dest in range(comm.size):
+        clo, chi = block_bounds(ncols, comm.size, dest)
+        sendblocks.append(np.ascontiguousarray(local_rows[:, clo:chi]))
+    recvblocks = comm.alltoall(sendblocks)
+    # recvblocks[src] holds src's rows of *our* columns; stack by row block.
+    return np.concatenate(recvblocks, axis=0)
+
+
+def transpose_backward(comm: SimComm, local_cols: np.ndarray, nrows: int, ncols: int) -> np.ndarray:
+    """Inverse of :func:`transpose_forward`: back to row-decomposed layout."""
+    clo, chi = block_bounds(ncols, comm.size, comm.rank)
+    if local_cols.ndim != 2 or local_cols.shape != (nrows, chi - clo):
+        raise ValueError(
+            f"local_cols must be ({nrows}, {chi - clo}), got {local_cols.shape}")
+    sendblocks = []
+    for dest in range(comm.size):
+        rlo, rhi = block_bounds(nrows, comm.size, dest)
+        sendblocks.append(np.ascontiguousarray(local_cols[rlo:rhi, :]))
+    recvblocks = comm.alltoall(sendblocks)
+    return np.concatenate(recvblocks, axis=1)

@@ -1,0 +1,40 @@
+"""Performance modeling: machine models, op counts, and the event simulator.
+
+Reproduces the paper's section 5 results (Figure 2 and the throughput
+claims) on a calibrated model of the 1997 hardware we do not have.
+"""
+
+from repro.perf.machine import (
+    MachineModel,
+    commodity_cluster_1999,
+    cray_c90,
+    ibm_sp2,
+)
+from repro.perf.costmodel import (
+    AtmosphereCost,
+    CouplerCost,
+    OceanCost,
+    atmosphere_ocean_cost_ratio,
+    foam_paper_costs,
+)
+from repro.perf.eventsim import (
+    SimulationResult,
+    atmosphere_parallel_efficiency,
+    scaling_curve,
+    simulate_coupled_day,
+    simulate_ocean_day,
+)
+from repro.perf.csm import (
+    CSMCostModel,
+    cost_performance_ratio,
+    foam_cost_musd,
+)
+
+__all__ = [
+    "MachineModel", "commodity_cluster_1999", "cray_c90", "ibm_sp2",
+    "AtmosphereCost", "CouplerCost", "OceanCost",
+    "atmosphere_ocean_cost_ratio", "foam_paper_costs",
+    "SimulationResult", "atmosphere_parallel_efficiency", "scaling_curve",
+    "simulate_coupled_day", "simulate_ocean_day",
+    "CSMCostModel", "cost_performance_ratio", "foam_cost_musd",
+]

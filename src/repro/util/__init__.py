@@ -1,0 +1,33 @@
+"""Shared utilities: physical constants, thermodynamic helpers, validation."""
+
+from repro.util import constants
+from repro.util.thermo import (
+    saturation_vapor_pressure,
+    saturation_mixing_ratio,
+    potential_temperature,
+    temperature_from_theta,
+    virtual_temperature,
+    moist_static_energy,
+    dewpoint,
+)
+from repro.util.validation import (
+    require_positive,
+    require_shape,
+    require_in_range,
+    require_finite,
+)
+
+__all__ = [
+    "constants",
+    "saturation_vapor_pressure",
+    "saturation_mixing_ratio",
+    "potential_temperature",
+    "temperature_from_theta",
+    "virtual_temperature",
+    "moist_static_energy",
+    "dewpoint",
+    "require_positive",
+    "require_shape",
+    "require_in_range",
+    "require_finite",
+]

@@ -1,0 +1,50 @@
+"""Physical and planetary constants shared by all FOAM components.
+
+Values follow the conventions of the NCAR CCM2/CCM3 technical notes that the
+paper's atmosphere component is derived from, rounded to the precision a
+climate model actually uses.
+"""
+
+from __future__ import annotations
+
+# --- planetary geometry / rotation -------------------------------------
+EARTH_RADIUS = 6.371e6          # m
+OMEGA = 7.292e-5                # s^-1, Earth's rotation rate
+GRAVITY = 9.80616               # m s^-2
+
+# --- dry air thermodynamics ---------------------------------------------
+RD = 287.04                     # J kg^-1 K^-1, gas constant for dry air
+CP = 1004.64                    # J kg^-1 K^-1, specific heat at const p
+KAPPA = RD / CP                 # Poisson constant
+RV = 461.5                      # J kg^-1 K^-1, gas constant for vapor
+EPSILON = RD / RV               # ratio of gas constants (~0.622)
+
+# --- water --------------------------------------------------------------
+LATENT_HEAT_VAP = 2.501e6       # J kg^-1, latent heat of vaporization
+LATENT_HEAT_FUS = 3.337e5       # J kg^-1, latent heat of fusion
+LATENT_HEAT_SUB = LATENT_HEAT_VAP + LATENT_HEAT_FUS
+RHO_WATER = 1000.0              # kg m^-3, fresh water density
+RHO_SEAWATER = 1025.0           # kg m^-3, reference seawater density
+CP_SEAWATER = 3990.0            # J kg^-1 K^-1
+CP_FRESHWATER = 4187.0          # J kg^-1 K^-1
+
+# --- radiation ----------------------------------------------------------
+STEFAN_BOLTZMANN = 5.67e-8      # W m^-2 K^-4
+SOLAR_CONSTANT = 1367.0         # W m^-2
+
+# --- reference states ---------------------------------------------------
+P0 = 1.0e5                      # Pa, reference surface pressure
+T_REF = 288.0                   # K, reference surface temperature
+T_FREEZE = 273.15               # K, freezing point of fresh water
+T_FREEZE_SEA = T_FREEZE - 1.92  # K, the paper's sea-surface clamp (-1.92 C)
+
+# --- FOAM coupler parameters straight out of the paper ------------------
+SOIL_MOISTURE_CAPACITY = 0.15   # m: the 15 cm bucket of the hydrology model
+SNOW_RUNOFF_DEPTH = 1.0         # m liquid equivalent: excess snow -> river
+RIVER_FLOW_VELOCITY = 0.35     # m s^-1, Miller et al. effective velocity
+SEAICE_FRESHWATER_DEPTH = 2.0   # m of water removed from ocean on freezing
+SEAICE_STRESS_DIVISOR = 15.0    # ice->ocean stress arbitrarily divided by 15
+
+SECONDS_PER_DAY = 86400.0
+DAYS_PER_YEAR = 365.0
+SECONDS_PER_YEAR = SECONDS_PER_DAY * DAYS_PER_YEAR

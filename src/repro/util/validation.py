@@ -1,0 +1,42 @@
+"""Small argument-validation helpers used across the library.
+
+Raising early with a precise message is cheaper than debugging NaNs three
+subsystems downstream, which is how coupled models usually fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require_positive(value, name: str):
+    """Raise ValueError unless ``value`` is strictly positive (scalar)."""
+    if not np.isscalar(value) and np.asarray(value).ndim != 0:
+        raise TypeError(f"{name} must be a scalar, got array of shape {np.shape(value)}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_shape(array, shape: tuple, name: str):
+    """Raise ValueError unless ``array`` has exactly the given shape."""
+    a = np.asarray(array)
+    if a.shape != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {a.shape}")
+    return a
+
+
+def require_in_range(value, lo, hi, name: str):
+    """Raise ValueError unless lo <= value <= hi."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def require_finite(array, name: str):
+    """Raise FloatingPointError if the array contains NaN or Inf."""
+    a = np.asarray(array)
+    if not np.all(np.isfinite(a)):
+        bad = int(np.count_nonzero(~np.isfinite(a)))
+        raise FloatingPointError(f"{name} contains {bad} non-finite values")
+    return a

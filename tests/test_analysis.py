@@ -1,0 +1,259 @@
+"""Tests for the analysis toolkit (EOF, VARIMAX, filters, climatology)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    anomalies,
+    area_weights_from_lats,
+    compute_eofs,
+    detrend,
+    lanczos_lowpass_weights,
+    lowpass,
+    monthly_means,
+    rotated_variance_fractions,
+    sst_error_statistics,
+    synthetic_sst_climatology,
+    time_mean,
+    varimax,
+    zonal_mean,
+)
+
+
+# ------------------------------------------------------------- EOF
+def make_two_mode_data(nt=200, ns=60, seed=0):
+    """Synthetic data with two known orthogonal modes + noise."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 2 * np.pi, ns)
+    p1 = np.sin(x)
+    p2 = np.cos(3 * x)
+    t = np.arange(nt)
+    a1 = 3.0 * np.sin(2 * np.pi * t / 50)
+    a2 = 1.0 * np.sin(2 * np.pi * t / 11)
+    data = np.outer(a1, p1) + np.outer(a2, p2) + 0.05 * rng.normal(size=(nt, ns))
+    return data, p1, p2
+
+
+def test_eof_recovers_leading_mode():
+    data, p1, p2 = make_two_mode_data()
+    res = compute_eofs(data, n_modes=4)
+    # Leading EOF aligned with the dominant pattern (up to sign).
+    corr = np.corrcoef(res.patterns[0], p1)[0, 1]
+    assert abs(corr) > 0.99
+    assert res.variance_fraction[0] > 0.8
+    assert res.variance_fraction[0] >= res.variance_fraction[1]
+
+
+def test_eof_patterns_orthonormal():
+    data, _, _ = make_two_mode_data(seed=1)
+    res = compute_eofs(data, n_modes=5)
+    gram = res.patterns @ res.patterns.T
+    np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+
+def test_eof_variance_fractions_sum_below_one():
+    data, _, _ = make_two_mode_data(seed=2)
+    res = compute_eofs(data, n_modes=6)
+    assert 0.99 < res.variance_fraction.sum() <= 1.0 + 1e-12
+
+
+def test_eof_reconstruction_converges():
+    data, _, _ = make_two_mode_data(seed=3)
+    res = compute_eofs(data, n_modes=2)
+    rec = res.reconstruct()
+    anoms = data - data.mean(axis=0)
+    resid = np.abs(rec - anoms).max()
+    assert resid < 0.5      # two modes capture the two-mode signal
+
+
+def test_eof_validation():
+    with pytest.raises(ValueError):
+        compute_eofs(np.zeros((1, 5)))
+    with pytest.raises(ValueError):
+        compute_eofs(np.zeros((5,)))
+    with pytest.raises(ValueError):
+        compute_eofs(np.zeros((5, 4)))     # zero variance
+    with pytest.raises(ValueError):
+        compute_eofs(np.random.default_rng(0).normal(size=(5, 4)),
+                     weights=np.ones(3))
+
+
+def test_eof_weights_change_patterns():
+    data, _, _ = make_two_mode_data(seed=4)
+    w = np.linspace(0.1, 1.0, data.shape[1])
+    res_u = compute_eofs(data, n_modes=1)
+    res_w = compute_eofs(data, n_modes=1, weights=w)
+    assert not np.allclose(res_u.patterns[0], res_w.patterns[0])
+
+
+# ------------------------------------------------------------- VARIMAX
+def test_varimax_rotation_is_orthogonal():
+    data, _, _ = make_two_mode_data(seed=5)
+    res = compute_eofs(data, n_modes=3)
+    rotated, r = varimax(res.patterns)
+    np.testing.assert_allclose(r.T @ r, np.eye(3), atol=1e-10)
+
+
+def test_varimax_preserves_total_variance():
+    """Orthogonal rotation redistributes variance but conserves its sum."""
+    data, _, _ = make_two_mode_data(seed=6)
+    res = compute_eofs(data, n_modes=3)
+    total = np.sum(res.pcs**2)   # variance held by the 3 retained modes
+    _, r = varimax(res.patterns)
+    frac = rotated_variance_fractions(res.pcs, r, total)
+    np.testing.assert_allclose(frac.sum(), 1.0, rtol=1e-10)
+    # ... but generally redistributed across modes.
+    assert frac.shape == (3,)
+
+
+def test_varimax_concentrates_loadings():
+    """Rotation increases the varimax criterion (variance of squared loadings)."""
+    rng = np.random.default_rng(7)
+    # Two localized sources mixed into spread-out EOFs.
+    ns = 80
+    s1 = np.exp(-((np.arange(ns) - 20) / 5.0) ** 2)
+    s2 = np.exp(-((np.arange(ns) - 60) / 5.0) ** 2)
+    mix = np.array([[0.7, 0.7], [-0.7, 0.7]])
+    patterns = mix @ np.vstack([s1, s2])
+    rotated, _ = varimax(patterns)
+
+    def criterion(p):
+        q = p**2
+        return np.sum(q.var(axis=1))
+
+    assert criterion(rotated) >= criterion(patterns) - 1e-12
+    # Rotated modes separate the two centers of action.
+    peak_locs = sorted(np.argmax(np.abs(rotated), axis=1))
+    assert abs(peak_locs[0] - 20) <= 3 and abs(peak_locs[1] - 60) <= 3
+
+
+def test_varimax_single_mode_noop():
+    p = np.random.default_rng(8).normal(size=(1, 30))
+    rotated, r = varimax(p)
+    np.testing.assert_allclose(rotated, p)
+    np.testing.assert_allclose(r, np.eye(1))
+
+
+# ------------------------------------------------------------- filters
+def test_lanczos_weights_normalized_and_symmetric():
+    w = lanczos_lowpass_weights(60.0, 80)
+    assert w.sum() == pytest.approx(1.0)
+    np.testing.assert_allclose(w, w[::-1], atol=1e-15)
+
+
+def test_lanczos_weight_validation():
+    with pytest.raises(ValueError):
+        lanczos_lowpass_weights(1.5, 10)
+    with pytest.raises(ValueError):
+        lanczos_lowpass_weights(60.0, 0)
+
+
+def test_lowpass_keeps_slow_kills_fast():
+    t = np.arange(600, dtype=float)
+    slow = np.sin(2 * np.pi * t / 200)
+    fast = np.sin(2 * np.pi * t / 8)
+    filtered = lowpass(slow + fast, cutoff_steps=60, half_width=90)
+    # Interior comparison (edges are reflection-padded).
+    sl = slice(120, -120)
+    resid_slow = np.abs(filtered[sl] - slow[sl]).max()
+    fast_power = np.std(filtered[sl] - slow[sl])
+    assert resid_slow < 0.15
+    assert fast_power < 0.05 * np.std(fast)
+
+
+def test_lowpass_preserves_constant():
+    const = np.full(300, 7.0)
+    np.testing.assert_allclose(lowpass(const, 60), 7.0, rtol=1e-12)
+
+
+def test_lowpass_multidimensional():
+    rng = np.random.default_rng(9)
+    x = rng.normal(size=(400, 3, 4))
+    out = lowpass(x, cutoff_steps=40)
+    assert out.shape == x.shape
+    assert np.std(out) < np.std(x)
+
+
+def test_monthly_means_binning():
+    t = np.arange(0, 90 * 86400.0, 86400.0)
+    x = np.arange(len(t), dtype=float)
+    centers, means = monthly_means(x, t)
+    assert len(means) == 3
+    assert means[0] == pytest.approx(np.mean(np.arange(30)))
+
+
+def test_detrend_removes_line():
+    t = np.arange(100, dtype=float)
+    x = 3.0 + 0.5 * t
+    out = detrend(x)
+    np.testing.assert_allclose(out, 0.0, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 999))
+def test_detrend_idempotent(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=50).cumsum()
+    once = detrend(x)
+    twice = detrend(once)
+    np.testing.assert_allclose(twice, once, atol=1e-10)
+
+
+# ------------------------------------------------------------- climatology
+def test_time_mean_and_anomalies():
+    x = np.array([[1.0, 2.0], [3.0, 4.0]])
+    np.testing.assert_allclose(time_mean(x), [2.0, 3.0])
+    np.testing.assert_allclose(anomalies(x).mean(axis=0), 0.0, atol=1e-15)
+    with pytest.raises(ValueError):
+        time_mean(np.zeros((0, 3)))
+
+
+def test_zonal_mean_with_mask():
+    f = np.array([[1.0, 2.0, 3.0, 100.0]])
+    mask = np.array([[True, True, True, False]])
+    assert zonal_mean(f, mask)[0] == pytest.approx(2.0)
+
+
+def test_area_weights_sum_to_one():
+    lats = np.deg2rad(np.linspace(-80, 80, 10))
+    w = area_weights_from_lats(lats, 12)
+    assert w.sum() == pytest.approx(1.0)
+    assert w.min() > 0
+
+
+# ------------------------------------------------------------- synthetic SST
+def test_synthetic_sst_structure():
+    lats = np.deg2rad(np.linspace(-75, 75, 40))
+    lons = np.deg2rad(np.linspace(0, 357.5, 80))
+    sst = synthetic_sst_climatology(lats, lons)
+    j_eq = 20
+    assert sst[j_eq].mean() > 24.0                # warm tropics
+    assert sst[0].mean() < 5.0                    # cold Southern Ocean
+    assert sst.min() >= -1.92 - 1e-9              # freezing clamp
+    # Warm pool warmer than cold tongue along the equator.
+    i_wp = np.argmin(np.abs(np.degrees(lons) - 150))
+    i_ct = np.argmin(np.abs(np.degrees(lons) - 255))
+    assert sst[j_eq, i_wp] > sst[j_eq, i_ct] + 2.0
+
+
+def test_sst_error_statistics_perfect_model():
+    lats = np.deg2rad(np.linspace(-60, 60, 20))
+    lons = np.deg2rad(np.linspace(0, 350, 30))
+    obs = synthetic_sst_climatology(lats, lons)
+    w = np.cos(lats)[:, None] * np.ones((1, 30))
+    stats = sst_error_statistics(obs, obs, w)
+    assert stats["bias"] == pytest.approx(0.0, abs=1e-12)
+    assert stats["rmse"] == pytest.approx(0.0, abs=1e-12)
+    assert stats["pattern_correlation"] == pytest.approx(1.0)
+
+
+def test_sst_error_statistics_detects_bias():
+    lats = np.deg2rad(np.linspace(-60, 60, 20))
+    lons = np.deg2rad(np.linspace(0, 350, 30))
+    obs = synthetic_sst_climatology(lats, lons)
+    w = np.cos(lats)[:, None] * np.ones((1, 30))
+    stats = sst_error_statistics(obs + 2.0, obs, w)
+    assert stats["bias"] == pytest.approx(2.0)
+    assert stats["rmse"] == pytest.approx(2.0)

@@ -1,0 +1,157 @@
+"""Tests for domain decomposition and halo exchange (repro.parallel.decomp)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import BlockDecomp1D, BlockDecomp2D, block_bounds, run_ranks
+
+
+# ---------------------------------------------------------------- block_bounds
+@given(n=st.integers(1, 500), parts=st.integers(1, 32))
+def test_block_bounds_partition_property(n, parts):
+    """Blocks tile [0, n) exactly, in order, with sizes differing by <= 1."""
+    if parts > n:
+        parts = n
+    sizes = []
+    prev_hi = 0
+    for i in range(parts):
+        lo, hi = block_bounds(n, parts, i)
+        assert lo == prev_hi
+        prev_hi = hi
+        sizes.append(hi - lo)
+    assert prev_hi == n
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_bounds_rejects_bad_index():
+    with pytest.raises(ValueError):
+        block_bounds(10, 4, 4)
+    with pytest.raises(ValueError):
+        block_bounds(10, 0, 0)
+
+
+# ---------------------------------------------------------------- 1-D decomp
+def test_decomp1d_rejects_more_ranks_than_rows():
+    with pytest.raises(ValueError, match="decomposition limit"):
+        BlockDecomp1D(nlat=4, nlon=8, nranks=5)
+
+
+def test_decomp1d_owner_roundtrip():
+    d = BlockDecomp1D(nlat=40, nlon=48, nranks=7)
+    for j in range(40):
+        r = d.owner(j)
+        lo, hi = d.bounds(r)
+        assert lo <= j < hi
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4, 5])
+def test_decomp1d_scatter_gather_identity(nranks):
+    full = np.arange(40 * 48, dtype=float).reshape(40, 48)
+    d = BlockDecomp1D(nlat=40, nlon=48, nranks=nranks)
+
+    def worker(comm):
+        local = d.scatter(comm, full if comm.rank == 0 else None)
+        lo, hi = d.bounds(comm.rank)
+        np.testing.assert_array_equal(local, full[lo:hi])
+        return d.gather(comm, local)
+
+    out = run_ranks(nranks, worker)
+    np.testing.assert_array_equal(out[0], full)
+
+
+def test_decomp1d_halo_exchange_matches_serial():
+    full = np.random.default_rng(0).normal(size=(12, 6))
+    d = BlockDecomp1D(nlat=12, nlon=6, nranks=3)
+
+    def worker(comm):
+        local = d.scatter(comm, full if comm.rank == 0 else None)
+        south, north = d.exchange_halo(comm, local)
+        lo, hi = d.bounds(comm.rank)
+        expect_south = full[lo - 1] if lo > 0 else full[lo]
+        expect_north = full[hi] if hi < 12 else full[hi - 1]
+        np.testing.assert_array_equal(south, expect_south)
+        np.testing.assert_array_equal(north, expect_north)
+        return True
+
+    assert all(run_ranks(3, worker))
+
+
+# ---------------------------------------------------------------- 2-D decomp
+def test_decomp2d_coords_rank_roundtrip():
+    d = BlockDecomp2D(ny=16, nx=16, py=2, px=3)
+    for r in range(d.nranks):
+        prow, pcol = d.coords(r)
+        assert d.rank_at(prow, pcol) == r
+
+
+def test_decomp2d_rank_at_periodic_in_x():
+    d = BlockDecomp2D(ny=8, nx=8, py=2, px=4)
+    assert d.rank_at(0, 4) == d.rank_at(0, 0)
+    assert d.rank_at(1, -1) == d.rank_at(1, 3)
+
+
+@pytest.mark.parametrize("py,px", [(1, 1), (2, 2), (2, 3), (4, 1)])
+def test_decomp2d_scatter_gather_identity(py, px):
+    full = np.random.default_rng(1).normal(size=(16, 18))
+    d = BlockDecomp2D(ny=16, nx=18, py=py, px=px)
+
+    def worker(comm):
+        local = d.scatter(comm, full if comm.rank == 0 else None)
+        return d.gather(comm, local)
+
+    out = run_ranks(d.nranks, worker)
+    np.testing.assert_array_equal(out[0], full)
+
+
+@pytest.mark.parametrize("py,px", [(1, 2), (2, 2), (2, 3)])
+def test_decomp2d_halo_matches_serial_padding(py, px):
+    """Halo exchange must reproduce what serial periodic/replicated padding gives."""
+    ny, nx = 12, 16
+    full = np.random.default_rng(2).normal(size=(ny, nx))
+    d = BlockDecomp2D(ny=ny, nx=nx, py=py, px=px)
+
+    # Serial reference: pad the full array the same way.
+    ref = np.empty((ny + 2, nx + 2))
+    ref[1:-1, 1:-1] = full
+    ref[1:-1, 0] = full[:, -1]
+    ref[1:-1, -1] = full[:, 0]
+    ref[0, 1:-1] = full[0]
+    ref[-1, 1:-1] = full[-1]
+
+    def worker(comm):
+        local = d.scatter(comm, full if comm.rank == 0 else None)
+        padded = d.exchange_halo(comm, local)
+        (ylo, yhi), (xlo, xhi) = d.bounds(comm.rank)
+        # Interior of the padded block must match the serial reference window
+        # (skip corners, which are closure-filled).
+        np.testing.assert_array_equal(padded[1:-1, 1:-1], full[ylo:yhi, xlo:xhi])
+        if xlo == 0:
+            np.testing.assert_array_equal(padded[1:-1, 0], ref[ylo + 1:yhi + 1, 0])
+        if ylo == 0:
+            np.testing.assert_array_equal(padded[0, 1:-1], ref[0, xlo + 1:xhi + 1])
+        return True
+
+    assert all(run_ranks(d.nranks, worker))
+
+
+# ---------------------------------------------------------------- transpose
+@pytest.mark.parametrize("size", [1, 2, 3, 4])
+def test_transpose_roundtrip(size):
+    from repro.parallel import transpose_backward, transpose_forward
+
+    nrows, ncols = 12, 10
+    full = np.random.default_rng(3).normal(size=(nrows, ncols))
+
+    def worker(comm):
+        rlo, rhi = block_bounds(nrows, comm.size, comm.rank)
+        local_rows = full[rlo:rhi].copy()
+        local_cols = transpose_forward(comm, local_rows, nrows, ncols)
+        clo, chi = block_bounds(ncols, comm.size, comm.rank)
+        np.testing.assert_allclose(local_cols, full[:, clo:chi])
+        back = transpose_backward(comm, local_cols, nrows, ncols)
+        np.testing.assert_allclose(back, full[rlo:rhi])
+        return True
+
+    assert all(run_ranks(size, worker))

@@ -1,0 +1,116 @@
+"""Tests for the climate diagnostics module."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    equator_pole_gradient,
+    ice_area,
+    meridional_heat_transport,
+    nino3_index,
+    ocean_heat_content,
+    surface_energy_balance,
+)
+from repro.util.constants import CP_SEAWATER, RHO_SEAWATER, STEFAN_BOLTZMANN
+
+
+@pytest.fixture
+def grid():
+    lats = np.deg2rad(np.linspace(-80, 80, 20))
+    lons = np.deg2rad(np.linspace(0, 342, 19))
+    mask = np.ones((20, 19), dtype=bool)
+    areas = np.cos(lats)[:, None] * np.ones((1, 19)) * 1e12
+    return lats, lons, mask, areas
+
+
+def test_nino3_box_selects_east_pacific(grid):
+    lats, lons, mask, _ = grid
+    sst = np.full((20, 19), 20.0)
+    lat_d = np.degrees(lats)[:, None]
+    lon_d = np.degrees(lons)[None, :]
+    in_box = (np.abs(lat_d) <= 5) & (lon_d >= 210) & (lon_d <= 270)
+    sst = np.where(in_box, 28.0, sst)
+    assert nino3_index(sst, lats, lons, mask) == pytest.approx(28.0)
+
+
+def test_nino3_raises_without_ocean(grid):
+    lats, lons, _, _ = grid
+    with pytest.raises(ValueError):
+        nino3_index(np.zeros((20, 19)), lats, lons,
+                    np.zeros((20, 19), dtype=bool))
+
+
+def test_ice_area_counts_only_ice(grid):
+    _, _, _, areas = grid
+    ice = np.zeros((20, 19), dtype=bool)
+    ice[-2:, :] = True
+    a = ice_area(ice, areas)
+    assert a == pytest.approx(areas[-2:, :].sum())
+
+
+def test_ocean_heat_content_scales_linearly(grid):
+    _, _, _, areas = grid
+    dz3d = np.ones((4, 20, 19)) * 100.0
+    t1 = np.full((4, 20, 19), 1.0)
+    ohc = ocean_heat_content(t1, dz3d, areas)
+    expect = RHO_SEAWATER * CP_SEAWATER * np.sum(dz3d * areas[None])
+    assert ohc == pytest.approx(expect)
+    assert ocean_heat_content(2 * t1, dz3d, areas) == pytest.approx(2 * ohc)
+
+
+def test_meridional_transport_poleward_for_tropical_heating(grid):
+    lats, _, mask, areas = grid
+    # Heat in at the tropics, out at the poles, zero net.
+    lat_d = np.degrees(lats)[:, None]
+    flux = np.where(np.abs(lat_d) < 30, 50.0, -37.0) * np.ones((1, 19))
+    row = np.sum(flux * areas, axis=1)
+    flux = flux - row.sum() / areas.sum()   # close the budget exactly
+    t = meridional_heat_transport(flux, lats, areas, mask)
+    assert t[0] == pytest.approx(0.0)
+    assert abs(t[-1]) < 1e-3 * np.abs(t).max()
+    # Northward transport positive in the NH subtropics, negative in the SH.
+    mid = len(t) // 2
+    assert t[mid + 3] > 0
+    assert t[mid - 3] < 0
+
+
+def test_surface_energy_balance_bookkeeping():
+    w = np.full((2, 2), 0.25)
+    t_sfc = np.full((2, 2), 288.0)
+    fluxes = {
+        "sw_sfc": np.full((2, 2), 160.0),
+        "lw_down": np.full((2, 2), 340.0),
+        "shf": np.full((2, 2), 20.0),
+        "lhf": np.full((2, 2), 80.0),
+    }
+    out = surface_energy_balance(fluxes, t_sfc, w)
+    lw_up = STEFAN_BOLTZMANN * 288.0**4
+    assert out["lw_net_up"] == pytest.approx(lw_up - 340.0)
+    assert out["net_into_surface"] == pytest.approx(
+        160.0 - (lw_up - 340.0) - 20.0 - 80.0)
+
+
+def test_equator_pole_gradient(grid):
+    lats, _, mask, _ = grid
+    lat_d = np.degrees(lats)[:, None]
+    sst = (28.0 * np.cos(np.deg2rad(lat_d)) ** 2) * np.ones((1, 19))
+    g = equator_pole_gradient(sst, lats, mask)
+    assert 15.0 < g < 28.0
+
+
+def test_diagnostics_on_real_coupled_state():
+    """Integration: all diagnostics run on genuine model output."""
+    from repro.core import FoamModel
+    from repro.core import test_config as tiny_config
+
+    model = FoamModel(tiny_config())
+    state = model.run_days(model.initial_state(), 1.0)
+    g = model.ocean_grid
+    sst = model.ocean.sst(state.ocean)
+    areas = g.cell_areas()
+    assert np.isfinite(nino3_index(sst, g.lats, g.lons, model.ocean.mask2d))
+    assert ice_area(state.coupler.ice.mask, areas) >= 0.0
+    ohc = ocean_heat_content(state.ocean.temp, model.ocean.dz3d, areas)
+    assert ohc > 0
+    grad = equator_pole_gradient(sst, g.lats, model.ocean.mask2d)
+    assert grad > 5.0

@@ -1,0 +1,152 @@
+"""Tests for the semi-implicit spectral dynamical core."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.vertical import VerticalGrid
+from repro.util.constants import P0
+
+
+@pytest.fixture(scope="module")
+def small_core():
+    """Cheap configuration for fast tests: R8 on 24x48, 5 levels."""
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    vg = VerticalGrid.ccm_like(nlev=5)
+    return SpectralDynamicalCore(tr, vg, dt=1800.0)
+
+
+def test_rejects_nonpositive_dt():
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    with pytest.raises(ValueError):
+        SpectralDynamicalCore(tr, VerticalGrid.ccm_like(5), dt=0.0)
+
+
+def test_initial_state_shapes(small_core):
+    st = small_core.initial_state()
+    L = small_core.vg.nlev
+    assert st.vort.shape == (L,) + small_core.tr.spec_shape
+    assert st.q.shape == (L, 24, 48)
+    with pytest.raises(ValueError):
+        small_core.initial_state("warm_bubble")
+
+
+def test_exact_rest_state_stays_at_rest(small_core):
+    """Isothermal rest with zero noise is an exact steady state."""
+    st = small_core.initial_state(noise_amplitude=0.0)
+    out = small_core.run(st, 10)
+    assert np.abs(out.vort).max() < 1e-16
+    assert np.abs(out.div).max() < 1e-12
+    assert np.abs(out.temp).max() < 1e-9
+    assert np.abs(out.lnps).max() < 1e-12
+
+
+def test_noise_stays_bounded_one_day(small_core):
+    """Small random vorticity noise must not amplify (gravity-wave stability)."""
+    st = small_core.initial_state(noise_amplitude=1e-8, seed=1)
+    z0 = np.abs(st.vort).max()
+    out = small_core.run(st, 48)
+    assert np.abs(out.vort).max() < 50 * z0
+    d = small_core.diagnose(out)
+    assert np.abs(d.u).max() < 1.0
+    assert np.abs(d.temp - small_core.vg.t_ref).max() < 1.0
+
+
+def test_mass_conservation(small_core):
+    """Global-mean surface pressure drifts by < 1e-4 relative over a day."""
+    st = small_core.initial_state(noise_amplitude=1e-8, seed=2)
+    m0 = small_core.global_mass(st)
+    out = small_core.run(st, 48)
+    m1 = small_core.global_mass(out)
+    assert m0 == pytest.approx(P0, rel=1e-12)
+    assert abs(m1 - m0) / m0 < 1e-4
+
+
+def test_zonal_jet_runs_stably(small_core):
+    """A balanced-ish jet integrates for 2 days without blowup."""
+    st = small_core.initial_state("zonal_jet")
+    out = small_core.run(st, 96)
+    d = small_core.diagnose(out)
+    assert np.all(np.isfinite(d.u))
+    assert np.abs(d.u).max() < 150.0
+    assert np.abs(d.temp - 300.0).max() < 60.0
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_semi_implicit_allows_long_steps():
+    """Explicit stepping at dt=1800 s diverges where semi-implicit is stable.
+
+    This is the point of the scheme (and of the paper's 30-minute step).
+    """
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    vg = VerticalGrid.ccm_like(nlev=5)
+    st_si = SpectralDynamicalCore(tr, vg, dt=1800.0, semi_implicit=True)
+    st_ex = SpectralDynamicalCore(tr, vg, dt=1800.0, semi_implicit=False)
+    # Excite a gravity wave directly through a pressure anomaly.
+    init = st_si.initial_state(noise_amplitude=0.0)
+    init.lnps[2, 2] = 1e-4
+    out_si = st_si.run(init.copy(), 60)
+    assert np.all(np.isfinite(out_si.div))
+    assert np.abs(out_si.div).max() < 1e-4
+    out_ex = st_ex.run(init.copy(), 60)
+    ex_max = np.abs(out_ex.div).max()
+    si_max = np.abs(out_si.div).max()
+    assert not np.isfinite(ex_max) or ex_max > 100 * si_max
+
+
+def test_explicit_stable_at_short_step():
+    """The explicit branch is sound when dt respects the gravity-wave CFL."""
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    vg = VerticalGrid.ccm_like(nlev=5)
+    core = SpectralDynamicalCore(tr, vg, dt=120.0, semi_implicit=False)
+    init = core.initial_state(noise_amplitude=0.0)
+    init.lnps[2, 2] = 1e-4
+    out = core.run(init, 100)
+    assert np.all(np.isfinite(out.div))
+    assert np.abs(out.div).max() < 1e-5
+
+
+def test_hyperdiffusion_selectively_damps(small_core):
+    st = small_core.initial_state(noise_amplitude=0.0)
+    spec = np.zeros_like(st.vort)
+    spec[:, 1, 0] = 1e-5   # large scale (n=1)
+    spec[:, 8, 8] = 1e-5   # small scale (n=16)
+    out = small_core._hyperdiffuse(spec)
+    assert abs(out[0, 8, 8]) < abs(out[0, 1, 0])
+    assert abs(out[0, 1, 0]) > 0.99e-5
+
+
+def test_diagnose_pressure_and_geopotential(small_core):
+    st = small_core.initial_state(noise_amplitude=0.0)
+    d = small_core.diagnose(st)
+    np.testing.assert_allclose(d.ps, P0, rtol=1e-12)
+    # Pressure increases downward; geopotential decreases downward.
+    assert np.all(np.diff(d.pressure, axis=0) > 0)
+    assert np.all(np.diff(d.geopotential, axis=0) < 0)
+
+
+def test_forward_start_restores_dt(small_core):
+    before = small_core.dt
+    small_core._forward_start(small_core.initial_state(noise_amplitude=0.0))
+    assert small_core.dt == before
+
+
+def test_forcing_hook_applied(small_core):
+    calls = []
+
+    def forcing(core, prev, curr):
+        calls.append(curr.time)
+        curr.temp[:, 0, 1] += 1e-6
+
+    st = small_core.initial_state(noise_amplitude=0.0)
+    out = small_core.run(st, 5, forcing=forcing)
+    assert len(calls) == 5
+    assert np.abs(out.temp).max() > 0
+
+
+def test_state_copy_is_deep(small_core):
+    st = small_core.initial_state(noise_amplitude=0.0)
+    st2 = st.copy()
+    st2.vort[0, 0, 0] = 1.0
+    assert st.vort[0, 0, 0] == 0.0

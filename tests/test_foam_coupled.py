@@ -1,0 +1,157 @@
+"""Integration tests for the coupled FOAM model (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoupledDiagnostics,
+    FoamConfig,
+    FoamModel,
+    load_restart,
+    paper_config,
+    save_restart,
+    small_config,
+)
+from repro.core import test_config as tiny_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FoamModel(tiny_config())
+
+
+@pytest.fixture(scope="module")
+def spun_up(model):
+    """A 3-day coupled run shared by several assertions."""
+    st = model.initial_state()
+    return model.run_days(st, 3.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FoamConfig(atm_dt=1700.0)      # does not divide 6 h
+
+
+def test_paper_config_matches_paper():
+    cfg = paper_config()
+    assert cfg.atm_mmax == 15          # R15
+    assert (cfg.atm_nlat, cfg.atm_nlon) == (40, 48)
+    assert cfg.atm_nlev == 18
+    assert cfg.atm_dt == 1800.0        # 30-minute step
+    assert (cfg.ocn_nx, cfg.ocn_ny, cfg.ocn_nlev) == (128, 128, 16)
+    assert cfg.atm_steps_per_coupling == 12   # ocean called 4x/day
+    assert cfg.radiation_interval == 43200.0  # radiation 2x/day
+
+
+def test_one_coupled_day_finite(model):
+    st = model.initial_state()
+    st = model.run_days(st, 1.0)
+    d = model.dycore.diagnose(st.atm_curr)
+    assert np.all(np.isfinite(d.u))
+    assert np.all(np.isfinite(st.ocean.temp))
+    assert 180.0 < d.temp.min() and d.temp.max() < 350.0
+
+
+def test_multiday_run_stays_physical(spun_up, model):
+    d = model.dycore.diagnose(spun_up.atm_curr)
+    assert np.abs(d.u).max() < 150.0
+    sst = model.ocean.sst(spun_up.ocean)
+    assert -2.0 <= np.nanmin(sst) and np.nanmax(sst) < 45.0
+    assert spun_up.atm_curr.q.min() >= 0.0
+    assert spun_up.atm_curr.q.max() < 0.05
+
+
+def test_ocean_called_on_schedule(model):
+    st = model.initial_state()
+    t0 = st.ocean.time
+    st = model.run_days(st, 1.0)
+    # 4 ocean calls per day at the 6 h coupling interval.
+    assert st.ocean.time - t0 == pytest.approx(86400.0)
+
+
+def test_sst_feels_the_atmosphere(model):
+    """Coupling does something: SST pattern changes vs an uncoupled ocean."""
+    st = model.initial_state()
+    sst0 = np.nan_to_num(model.ocean.sst(st.ocean))
+    st = model.run_days(st, 3.0)
+    sst1 = np.nan_to_num(model.ocean.sst(st.ocean))
+    assert np.abs(sst1 - sst0).max() > 0.05
+
+
+def test_diagnostics_accumulate(model):
+    st = model.initial_state()
+    diags = CoupledDiagnostics()
+    model.run_days(st, 2.0, diagnostics=diags)
+    assert 2 <= diags.sst_count <= 3   # daily samples incl. the first step
+    assert len(diags.history_sst) == diags.sst_count
+    assert diags.mean_sst().shape == (model.ocean_grid.ny, model.ocean_grid.nx)
+
+
+def test_diagnostics_error_when_empty():
+    with pytest.raises(RuntimeError):
+        CoupledDiagnostics().mean_sst()
+
+
+def test_water_inventory_reservoirs(model, spun_up):
+    inv = model.global_water_inventory(spun_up)
+    assert set(inv) == {"atmosphere", "soil", "snow", "rivers"}
+    assert inv["atmosphere"] > 0
+    assert inv["soil"] > 0
+    assert all(v >= 0 for v in inv.values())
+
+
+def test_restart_roundtrip(tmp_path, model, spun_up):
+    """Restart files reproduce the state bit-exactly."""
+    p = save_restart(tmp_path / "restart.npz", spun_up)
+    back = load_restart(p)
+    np.testing.assert_array_equal(back.atm_curr.vort, spun_up.atm_curr.vort)
+    np.testing.assert_array_equal(back.ocean.temp, spun_up.ocean.temp)
+    np.testing.assert_array_equal(back.coupler.hydrology.soil_moisture,
+                                  spun_up.coupler.hydrology.soil_moisture)
+    assert back.time == spun_up.time
+
+
+def test_restart_continues_identically(tmp_path):
+    """run(1 day) -> restart -> run(1 day) is bit-exact vs running through.
+
+    Restarting at a radiation + ocean-coupling boundary (whole days are
+    both) makes the model-level caches reconstructible; the test uses a
+    fresh model so no cache state leaks in from other tests.
+    """
+    model = FoamModel(tiny_config())
+    st_a = model.initial_state()
+    st_a = model.run_days(st_a, 1.0)
+    p = save_restart(tmp_path / "mid.npz", st_a)
+    st_b = load_restart(p)
+    out_a = model.run_days(st_a, 1.0)
+    # Reset model-level caches the way a fresh process would start.
+    model.physics._last_radiation_time = -np.inf
+    model._reset_ocean_accumulator()
+    out_b = model.run_days(st_b, 1.0)
+    np.testing.assert_array_equal(out_b.ocean.temp, out_a.ocean.temp)
+    np.testing.assert_array_equal(out_b.atm_curr.vort, out_a.atm_curr.vort)
+
+
+def test_history_writer_roundtrip(tmp_path):
+    from repro.core import HistoryWriter, load_history
+
+    w = HistoryWriter(tmp_path, prefix="h")
+    rng = np.random.default_rng(0)
+    f1 = rng.normal(size=(4, 5))
+    f2 = rng.normal(size=(4, 5))
+    w.record(0.0, sst=f1)
+    w.record(86400.0, sst=f2)
+    path = w.flush()
+    data = load_history(path)
+    np.testing.assert_array_equal(data["sst"][0], f1)
+    np.testing.assert_array_equal(data["time"], [0.0, 86400.0])
+    assert w.flush() is None
+
+
+def test_history_writer_rejects_inconsistent_fields(tmp_path):
+    from repro.core import HistoryWriter
+
+    w = HistoryWriter(tmp_path)
+    w.record(0.0, sst=np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        w.record(1.0, ice=np.zeros((2, 2)))

@@ -1,0 +1,122 @@
+"""Tests for the Held-Suarez forcing and the ocean circulation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere.dynamics import SpectralDynamicalCore
+from repro.atmosphere.heldsuarez import (
+    HeldSuarezForcing,
+    HeldSuarezParams,
+    equilibrium_temperature,
+)
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.vertical import VerticalGrid
+from repro.ocean import (
+    OceanForcing,
+    OceanGrid,
+    OceanModel,
+    aquaplanet_topography,
+    world_topography,
+)
+from repro.ocean.diagnostics import (
+    barotropic_streamfunction,
+    drake_passage_transport,
+    meridional_overturning,
+    mixed_layer_depth,
+)
+
+
+# ------------------------------------------------------------- Held-Suarez
+def test_equilibrium_temperature_structure():
+    lats = np.deg2rad(np.linspace(-85, 85, 16))
+    sigma = np.linspace(0.05, 0.95, 8)
+    teq = equilibrium_temperature(lats, sigma)
+    # Warm equatorial surface, cold poles, stratospheric floor.
+    j_eq = 8
+    assert teq[-1, j_eq, 0] > teq[-1, 0, 0] + 30.0
+    assert teq[0].min() == pytest.approx(200.0)
+    assert np.all(teq >= 200.0)
+
+
+def test_held_suarez_spins_up_jets():
+    """From rest, HS forcing must develop westerly midlatitude jets."""
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    vg = VerticalGrid.ccm_like(nlev=5)
+    core = SpectralDynamicalCore(tr, vg, dt=1800.0)
+    forcing = HeldSuarezForcing(core)
+    state = core.initial_state(noise_amplitude=1e-7, seed=3)
+    out = core.run(state, 48 * 20, forcing=forcing)       # 20 days
+    d = core.diagnose(out)
+    # Zonal-mean upper-level wind: westerly in midlatitudes.
+    u_upper = d.u[1].mean(axis=1)
+    lat_d = np.degrees(tr.lats)
+    nh_mid = (lat_d > 25) & (lat_d < 60)
+    sh_mid = (lat_d < -25) & (lat_d > -60)
+    # 20 days is early spin-up (full HS equilibration takes ~200 days);
+    # clear westerlies must already be forming in both hemispheres.
+    assert u_upper[nh_mid].max() > 2.5
+    assert u_upper[sh_mid].max() > 2.5
+    # Temperature is relaxing toward the HS climate: a clear equator-pole
+    # gradient has emerged (full contrast needs the 40-day k_a timescale).
+    t_low = d.temp[-1].mean(axis=1)
+    assert t_low[np.abs(lat_d).argmin()] > t_low[0] + 8.0
+    assert np.all(np.isfinite(d.u))
+
+
+def test_held_suarez_drag_confined_to_boundary_layer():
+    tr = SpectralTransform(nlat=24, nlon=48, trunc=Truncation(8))
+    core = SpectralDynamicalCore(tr, VerticalGrid.ccm_like(nlev=6), dt=1800.0)
+    f = HeldSuarezForcing(core)
+    sig = core.vg.sigma
+    assert np.all(f.k_v[sig < 0.7] == 0.0)
+    assert np.all(f.k_v[sig > 0.9] > 0.0)
+
+
+# ------------------------------------------------------------- ocean diags
+@pytest.fixture(scope="module")
+def spun_ocean():
+    g = OceanGrid(nx=32, ny=32, nlev=8)
+    land, depth = world_topography(g)
+    model = OceanModel(g, land, depth)
+    state = model.initial_state()
+    tx = 0.1 * np.sin(2 * g.lats[:, None]) * np.ones((1, g.nx)) * model.mask2d
+    f = OceanForcing(tx, np.zeros_like(tx), np.zeros((g.ny, g.nx)),
+                     np.zeros((g.ny, g.nx)))
+    state = model.run(state, 120, f)    # 30 days
+    return model, state
+
+
+def test_streamfunction_closed_and_finite(spun_ocean):
+    model, state = spun_ocean
+    psi = barotropic_streamfunction(model, state)
+    vals = psi[model.mask2d]
+    assert np.all(np.isfinite(vals))
+    assert np.abs(vals).max() > 0.01      # gyres exist (Sv scale)
+    assert np.abs(vals).max() < 500.0     # ...but physically bounded
+
+
+def test_drake_passage_transport_finite(spun_ocean):
+    model, state = spun_ocean
+    acc = drake_passage_transport(model, state)
+    assert np.isfinite(acc)
+    assert abs(acc) < 1000.0
+
+
+def test_overturning_vanishes_at_boundaries(spun_ocean):
+    model, state = spun_ocean
+    psi = meridional_overturning(model, state)
+    assert psi.shape == (model.grid.nlev + 1, model.grid.ny)
+    np.testing.assert_allclose(psi[0], 0.0)
+    assert np.all(np.isfinite(psi))
+
+
+def test_mixed_layer_depth_shallower_in_tropics():
+    g = OceanGrid(nx=16, ny=16, nlev=8)
+    land, depth = aquaplanet_topography(g)
+    model = OceanModel(g, land, depth)
+    state = model.initial_state()
+    mld = mixed_layer_depth(model, state)
+    assert np.all(np.isfinite(mld[model.mask2d]))
+    assert np.nanmin(mld) >= 0.0
+    # The initial stratification decays over ~800 m: MLD well above bottom.
+    assert np.nanmedian(mld) < 0.5 * g.total_depth

@@ -1,0 +1,224 @@
+"""Integration tests for the FOAM ocean model and its baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ocean import (
+    BarotropicParams,
+    BarotropicSolver,
+    ConventionalOceanModel,
+    OceanForcing,
+    OceanGrid,
+    OceanModel,
+    OceanParams,
+    aquaplanet_topography,
+    world_topography,
+)
+
+
+@pytest.fixture(scope="module")
+def aqua():
+    g = OceanGrid(nx=24, ny=24, nlev=6)
+    land, depth = aquaplanet_topography(g)
+    return OceanModel(g, land, depth)
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = OceanGrid(nx=32, ny=32, nlev=8)
+    land, depth = world_topography(g)
+    return OceanModel(g, land, depth)
+
+
+def wind(model):
+    g = model.grid
+    tx = 0.1 * np.sin(2 * g.lats[:, None]) * np.ones((1, g.nx)) * model.mask2d
+    return OceanForcing(tx, np.zeros_like(tx),
+                        np.zeros((g.ny, g.nx)), np.zeros((g.ny, g.nx)))
+
+
+# ------------------------------------------------------------- barotropic
+def test_barotropic_params_validation():
+    with pytest.raises(ValueError):
+        BarotropicParams(slow_factor=0.0)
+    with pytest.raises(ValueError):
+        BarotropicParams(slow_factor=1.5)
+
+
+def test_slowing_relaxes_cfl_by_slow_factor():
+    g = OceanGrid(nx=24, ny=24, nlev=4)
+    land, depth = aquaplanet_topography(g)
+    mask = ~land
+    fast = BarotropicSolver(g, depth, mask, BarotropicParams(slow_factor=1.0))
+    slow = BarotropicSolver(g, depth, mask, BarotropicParams(slow_factor=0.1))
+    assert slow.dt_max == pytest.approx(10.0 * fast.dt_max)
+    assert slow.n_substeps(6 * 3600.0) < fast.n_substeps(6 * 3600.0)
+
+
+def test_barotropic_conserves_volume():
+    """Mean sea level is exactly conserved by the flux-form eta step."""
+    g = OceanGrid(nx=24, ny=24, nlev=4)
+    land, depth = world_topography(g)
+    solver = BarotropicSolver(g, depth, ~land)
+    rng = np.random.default_rng(0)
+    eta = np.where(~land, rng.normal(scale=0.1, size=(24, 24)), 0.0)
+    ubar = np.where(~land, rng.normal(scale=0.05, size=(24, 24)), 0.0)
+    vbar = np.where(~land, rng.normal(scale=0.05, size=(24, 24)), 0.0)
+    zero = np.zeros((24, 24))
+    msl0 = solver.mean_sea_level(eta)
+    for _ in range(5):
+        eta, ubar, vbar, _ = solver.step(eta, ubar, vbar, zero, zero, 6 * 3600.0)
+    assert solver.mean_sea_level(eta) == pytest.approx(msl0, abs=1e-12)
+    assert np.all(np.isfinite(eta))
+
+
+def test_barotropic_geostrophic_adjustment_bounded():
+    """An eta bump radiates (slowed) gravity waves and stays bounded."""
+    g = OceanGrid(nx=24, ny=24, nlev=4)
+    land, depth = aquaplanet_topography(g)
+    solver = BarotropicSolver(g, depth, ~land)
+    eta = np.zeros((24, 24))
+    eta[12, 12] = 1.0
+    ubar = np.zeros_like(eta)
+    vbar = np.zeros_like(eta)
+    zero = np.zeros_like(eta)
+    for _ in range(40):
+        eta, ubar, vbar, _ = solver.step(eta, ubar, vbar, zero, zero, 3600.0)
+    assert np.abs(eta).max() <= 1.0 + 1e-9
+    assert np.all(np.isfinite(ubar))
+
+
+# ------------------------------------------------------------- ocean model
+def test_initial_state_masked_and_warm_tropics(world):
+    st = world.initial_state()
+    sst = world.sst(st)
+    j_eq = world.grid.ny // 2
+    j_hi = world.grid.ny - 2
+    assert np.nanmean(sst[j_eq]) > 15.0
+    assert np.nanmean(sst[j_hi]) < 8.0
+    assert np.all(st.temp[~world.mask3d] == 0.0)
+    with pytest.raises(ValueError):
+        world.initial_state("el_nino")
+
+
+def test_rest_unforced_stays_calm(aqua):
+    st = aqua.initial_state()
+    f = OceanForcing.zeros(aqua.grid.ny, aqua.grid.nx)
+    out = aqua.run(st, 20, f)
+    u, v = aqua.total_velocity(out)
+    assert np.abs(u).max() < 0.5
+    assert np.all(np.isfinite(out.temp))
+
+
+def test_wind_driven_spinup_produces_circulation(world):
+    st = world.initial_state()
+    out = world.run(st, 80, wind(world))
+    u, v = world.total_velocity(out)
+    assert 0.01 < np.abs(u).max() < 5.0
+    ke = world.total_kinetic_energy(out)
+    assert ke > 0
+
+
+def test_tracer_means_nearly_conserved_unforced(aqua):
+    st = aqua.initial_state()
+    t0 = aqua.mean_temperature(st)
+    s0 = aqua.mean_salinity(st)
+    out = aqua.run(st, 40, OceanForcing.zeros(aqua.grid.ny, aqua.grid.nx))
+    assert abs(aqua.mean_temperature(out) - t0) < 0.05
+    assert abs(aqua.mean_salinity(out) - s0) < 0.01
+
+
+def test_heat_flux_warms_ocean(aqua):
+    """Heated run ends warmer than an otherwise identical control run."""
+    g = aqua.grid
+    f_warm = OceanForcing(np.zeros((g.ny, g.nx)), np.zeros((g.ny, g.nx)),
+                          np.full((g.ny, g.nx), 200.0), np.zeros((g.ny, g.nx)))
+    out_warm = aqua.run(aqua.initial_state(), 20, f_warm)
+    out_ctrl = aqua.run(aqua.initial_state(), 20,
+                        OceanForcing.zeros(g.ny, g.nx))
+    assert aqua.mean_temperature(out_warm) > aqua.mean_temperature(out_ctrl)
+
+
+def test_freshwater_freshens_surface(aqua):
+    st = aqua.initial_state()
+    g = aqua.grid
+    f = OceanForcing(np.zeros((g.ny, g.nx)), np.zeros((g.ny, g.nx)),
+                     np.zeros((g.ny, g.nx)), np.full((g.ny, g.nx), 1e-4))
+    s0 = float(np.mean(st.salt[0]))
+    out = aqua.run(st, 20, f)
+    assert float(np.mean(out.salt[0])) < s0
+
+
+def test_sst_clamp_enforced(world):
+    """Surface temperature never falls below the paper's -1.92 C."""
+    st = world.initial_state()
+    g = world.grid
+    # Brutal cooling everywhere.
+    f = OceanForcing(np.zeros((g.ny, g.nx)), np.zeros((g.ny, g.nx)),
+                     np.full((g.ny, g.nx), -800.0), np.zeros((g.ny, g.nx)))
+    out = world.run(st, 30, f)
+    assert np.nanmin(world.sst(out)) >= -1.92 - 1e-9
+
+
+def test_world_run_one_season_stable(world):
+    st = world.initial_state()
+    g = world.grid
+    tx = 0.1 * np.sin(2 * g.lats[:, None]) * np.ones((1, g.nx)) * world.mask2d
+    q = (60.0 * np.cos(g.lats[:, None]) ** 2 - 30.0) * np.ones((1, g.nx)) * world.mask2d
+    f = OceanForcing(tx, np.zeros_like(tx), q, np.zeros((g.ny, g.nx)))
+    out = world.run(st, 360, f)   # 90 days
+    u, v = world.total_velocity(out)
+    for arr in (u, v, out.temp, out.salt, out.eta):
+        assert np.all(np.isfinite(arr))
+    assert np.abs(u).max() < 5.0
+
+
+def test_depth_mean_removal_invariant(world):
+    st = world.initial_state()
+    rng = np.random.default_rng(3)
+    field = np.where(world.mask3d, rng.normal(size=st.u.shape), 0.0)
+    out, mean = world.remove_depth_mean(field)
+    resid = world.depth_mean(out)
+    np.testing.assert_allclose(resid[world.mask2d], 0.0, atol=1e-12)
+
+
+def test_op_count_increases(world):
+    st = world.initial_state()
+    c0 = world.op_count
+    world.step(st, wind(world))
+    assert world.op_count > c0
+
+
+# ------------------------------------------------------------- baseline
+def test_conventional_baseline_needs_many_more_steps():
+    """The ablation core: FOAM's techniques cut ops/simulated-time ~10x."""
+    g = OceanGrid(nx=32, ny=32, nlev=8)
+    land, depth = world_topography(g)
+    foam = OceanModel(g, land, depth)
+    conv = ConventionalOceanModel(g, land, depth)
+    n = conv.steps_per_long()
+    assert n > 5   # unsplit model must take many small steps per 6h
+
+    foam.op_count = 0
+    conv.op_count = 0
+    st_f = foam.initial_state()
+    st_c = conv.initial_state()
+    f = OceanForcing.zeros(g.ny, g.nx)
+    foam.step(st_f, f)
+    conv.step(st_c, f)
+    ratio = conv.op_count / foam.op_count
+    assert ratio > 3.0   # order-of-magnitude class advantage
+
+
+def test_conventional_baseline_physics_comparable():
+    """Same equations: short unforced runs agree between FOAM and baseline."""
+    g = OceanGrid(nx=24, ny=24, nlev=5)
+    land, depth = aquaplanet_topography(g)
+    foam = OceanModel(g, land, depth)
+    conv = ConventionalOceanModel(g, land, depth)
+    f = OceanForcing.zeros(g.ny, g.nx)
+    out_f = foam.run(foam.initial_state(), 4, f)
+    out_c = conv.run(conv.initial_state(), 4, f)
+    # Temperature fields stay close (same physics, different step sizes).
+    diff = np.abs(out_f.temp - out_c.temp).max()
+    assert diff < 0.5

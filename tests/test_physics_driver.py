@@ -1,0 +1,77 @@
+"""Integration test of the full physics suite driver."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere.physics import PhysicsSuite, SurfaceState
+from repro.util.constants import GRAVITY, SECONDS_PER_DAY
+from repro.util.thermo import saturation_mixing_ratio
+
+
+@pytest.fixture
+def setup():
+    L, nlat, nlon = 8, 6, 8
+    lats = np.deg2rad(np.linspace(-75, 75, nlat))
+    lons = np.linspace(0, 2 * np.pi, nlon, endpoint=False)
+    sigma_half = np.linspace(0.0, 1.0, L + 1)
+    dsigma = np.diff(sigma_half)
+    sigma = 0.5 * (sigma_half[:-1] + sigma_half[1:])
+    ps = np.full((nlat, nlon), 1.0e5)
+    pressure = sigma[:, None, None] * ps[None]
+    shape = (L, nlat, nlon)
+    temp = np.broadcast_to(288.0 - 55.0 * (1.0 - sigma[:, None, None]), shape).copy()
+    q = 0.6 * saturation_mixing_ratio(temp, pressure)
+    u = np.full(shape, 5.0)
+    v = np.zeros(shape)
+    geop = np.zeros(shape)
+    for l in range(L - 2, -1, -1):
+        geop[l] = geop[l + 1] + 287.0 * temp[l] * np.log(pressure[l + 1] / pressure[l])
+    surface = SurfaceState(
+        t_sfc=np.full((nlat, nlon), 290.0),
+        albedo=np.full((nlat, nlon), 0.1),
+        wetness=np.ones((nlat, nlon)),
+        z0=np.full((nlat, nlon), 1e-3),
+        ocean_mask=np.ones((nlat, nlon), dtype=bool))
+    return dict(temp=temp, q=q, u=u, v=v, pressure=pressure, ps=ps,
+                geopotential=geop, dsigma=dsigma, surface=surface,
+                lats=lats, lons=lons)
+
+
+def test_driver_produces_finite_tendencies(setup):
+    suite = PhysicsSuite()
+    out = suite.compute(dt=1800.0, time=0.0, **setup)
+    for arr in (out.dtdt, out.dqdt, out.dudt, out.dvdt):
+        assert np.all(np.isfinite(arr))
+    assert np.all(out.precip_conv >= 0.0)
+    assert np.all(out.precip_strat >= 0.0)
+    assert "olr" in out.fluxes and np.all(out.fluxes["olr"] > 50.0)
+
+
+def test_driver_radiation_cadence(setup):
+    """Radiation runs twice per day: cached between radiation steps."""
+    suite = PhysicsSuite()
+    assert suite.radiation_due(0.0)
+    suite.compute(dt=1800.0, time=0.0, **setup)
+    assert not suite.radiation_due(1800.0)
+    assert not suite.radiation_due(SECONDS_PER_DAY / 2 - 1800.0)
+    assert suite.radiation_due(SECONDS_PER_DAY / 2)
+
+
+def test_driver_external_fluxes_respected(setup):
+    """When the coupler supplies fluxes, the internal bulk formulas are bypassed."""
+    suite = PhysicsSuite()
+    nlat, nlon = setup["ps"].shape
+    zeros = np.zeros((nlat, nlon))
+    ext = {"shf": zeros, "lhf": zeros, "evap": zeros,
+           "taux": zeros, "tauy": zeros, "ustar": np.full((nlat, nlon), 0.1)}
+    out = suite.compute(dt=1800.0, time=0.0, external_fluxes=ext, **setup)
+    assert out.fluxes["shf"] is zeros
+
+
+def test_driver_tendencies_bounded(setup):
+    """One 30-minute step changes T by < 15 K anywhere (physics sanity)."""
+    suite = PhysicsSuite()
+    out = suite.compute(dt=1800.0, time=0.0, **setup)
+    assert np.abs(out.dtdt * 1800.0).max() < 15.0
+    q_new = setup["q"] + 1800.0 * out.dqdt
+    assert q_new.min() > -1e-10

@@ -1,0 +1,206 @@
+"""Unit tests for the simulated MPI layer (repro.parallel.simmpi)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ANY_SOURCE, CommError, run_ranks
+
+
+def test_single_rank_world():
+    out = run_ranks(1, lambda c: c.rank)
+    assert out == [0]
+
+
+def test_send_recv_roundtrip():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send({"x": 42}, dest=1, tag=7)
+            return None
+        return comm.recv(source=0, tag=7)
+
+    out = run_ranks(2, worker)
+    assert out[1] == {"x": 42}
+
+
+def test_send_copies_numpy_buffer():
+    """MPI semantics: mutating the send buffer after send must not corrupt the message."""
+    def worker(comm):
+        if comm.rank == 0:
+            buf = np.arange(5.0)
+            comm.send(buf, dest=1)
+            buf[:] = -1.0
+            return None
+        return comm.recv(source=0)
+
+    out = run_ranks(2, worker)
+    np.testing.assert_array_equal(out[1], np.arange(5.0))
+
+
+def test_recv_wildcard_source():
+    def worker(comm):
+        if comm.rank == 0:
+            got = sorted(comm.recv(source=ANY_SOURCE) for _ in range(comm.size - 1))
+            return got
+        comm.send(comm.rank * 10, dest=0)
+        return None
+
+    out = run_ranks(4, worker)
+    assert out[0] == [10, 20, 30]
+
+
+def test_recv_tag_selectivity_with_stash():
+    """A message with the wrong tag must be stashed, not lost."""
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)   # arrives after tag=1: forces stash
+        first = comm.recv(source=0, tag=1)    # must come from the stash
+        return (first, second)
+
+    out = run_ranks(2, worker)
+    assert out[1] == ("first", "second")
+
+
+def test_sendrecv_ring_shift():
+    def worker(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        return comm.sendrecv(comm.rank, dest=right, source=left)
+
+    out = run_ranks(5, worker)
+    assert out == [(r - 1) % 5 for r in range(5)]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+def test_bcast_all_sizes(size):
+    def worker(comm):
+        payload = np.arange(10.0) if comm.rank == 2 % comm.size else None
+        return comm.bcast(payload, root=2 % comm.size)
+
+    out = run_ranks(size, worker)
+    for arr in out:
+        np.testing.assert_array_equal(arr, np.arange(10.0))
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_reduce_sum(size):
+    def worker(comm):
+        return comm.reduce(comm.rank + 1, op="sum", root=0)
+
+    out = run_ranks(size, worker)
+    assert out[0] == size * (size + 1) // 2
+    assert all(v is None for v in out[1:])
+
+
+@pytest.mark.parametrize("op,expect", [("sum", 10), ("max", 4), ("min", 1), ("prod", 24)])
+def test_allreduce_ops(op, expect):
+    def worker(comm):
+        return comm.allreduce(comm.rank + 1, op=op)
+
+    out = run_ranks(4, worker)
+    assert out == [expect] * 4
+
+
+def test_allreduce_arrays():
+    def worker(comm):
+        return comm.allreduce(np.full(3, float(comm.rank)), op="max")
+
+    out = run_ranks(3, worker)
+    for arr in out:
+        np.testing.assert_array_equal(arr, np.full(3, 2.0))
+
+
+def test_gather_preserves_rank_order():
+    def worker(comm):
+        return comm.gather(f"r{comm.rank}", root=1)
+
+    out = run_ranks(4, worker)
+    assert out[1] == ["r0", "r1", "r2", "r3"]
+    assert out[0] is None
+
+
+def test_allgather():
+    out = run_ranks(3, lambda c: c.allgather(c.rank * 2))
+    assert out == [[0, 2, 4]] * 3
+
+
+def test_scatter():
+    def worker(comm):
+        objs = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    out = run_ranks(4, worker)
+    assert out == [0, 1, 4, 9]
+
+
+def test_scatter_wrong_length_raises():
+    def worker(comm):
+        objs = [1, 2] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    with pytest.raises(CommError):
+        run_ranks(3, worker, timeout=5.0)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6])
+def test_alltoall_personalized(size):
+    def worker(comm):
+        objs = [comm.rank * 100 + dest for dest in range(comm.size)]
+        return comm.alltoall(objs)
+
+    out = run_ranks(size, worker)
+    for rank, received in enumerate(out):
+        assert received == [src * 100 + rank for src in range(size)]
+
+
+def test_barrier_completes():
+    def worker(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert run_ranks(4, worker) == [True] * 4
+
+
+def test_worker_exception_propagates():
+    def worker(comm):
+        if comm.rank == 1:
+            raise ValueError("rank 1 blew up")
+        comm.barrier()
+        return True
+
+    with pytest.raises(ValueError, match="rank 1 blew up"):
+        run_ranks(3, worker, timeout=5.0)
+
+
+def test_deadlock_detected_by_timeout():
+    def worker(comm):
+        if comm.rank == 0:
+            return comm.recv(source=1)  # rank 1 never sends
+        return None
+
+    with pytest.raises(CommError, match="timed out"):
+        run_ranks(2, worker, timeout=0.2)
+
+
+def test_bad_destination_raises():
+    def worker(comm):
+        comm.send(1, dest=99)
+
+    with pytest.raises(CommError, match="bad destination"):
+        run_ranks(2, worker, timeout=5.0)
+
+
+def test_bytes_accounting():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(1000), dest=1)
+            return comm.bytes_sent
+        comm.recv(source=0)
+        return comm.bytes_sent
+
+    out = run_ranks(2, worker)
+    assert out[0] == 8000
+    assert out[1] == 0

@@ -1,0 +1,123 @@
+"""Tests for the shared utilities: thermodynamics, validation, constants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    dewpoint,
+    moist_static_energy,
+    potential_temperature,
+    require_finite,
+    require_in_range,
+    require_positive,
+    require_shape,
+    saturation_mixing_ratio,
+    saturation_vapor_pressure,
+    temperature_from_theta,
+    virtual_temperature,
+)
+from repro.util.constants import T_FREEZE
+
+
+# ------------------------------------------------------------- thermo
+def test_saturation_vapor_pressure_anchor_points():
+    """611 Pa at 0 C; ~2.3 kPa at 20 C; ~4.2 kPa at 30 C (standard tables)."""
+    assert saturation_vapor_pressure(273.15) == pytest.approx(611.2, rel=1e-3)
+    assert saturation_vapor_pressure(293.15) == pytest.approx(2339.0, rel=0.02)
+    assert saturation_vapor_pressure(303.15) == pytest.approx(4247.0, rel=0.02)
+
+
+@settings(max_examples=50, deadline=None)
+@given(t=st.floats(220.0, 320.0))
+def test_saturation_vapor_pressure_monotone(t):
+    assert saturation_vapor_pressure(t + 1.0) > saturation_vapor_pressure(t)
+
+
+@settings(max_examples=50, deadline=None)
+@given(t=st.floats(230.0, 315.0), p=st.floats(2.0e4, 1.05e5))
+def test_saturation_mixing_ratio_positive_and_bounded(t, p):
+    q = saturation_mixing_ratio(t, p)
+    assert 0.0 < q < 1.0
+
+
+def test_potential_temperature_roundtrip():
+    t = np.array([250.0, 280.0, 300.0])
+    p = np.array([3.0e4, 7.0e4, 1.0e5])
+    theta = potential_temperature(t, p)
+    np.testing.assert_allclose(temperature_from_theta(theta, p), t, rtol=1e-12)
+    # theta == T at the reference pressure.
+    assert potential_temperature(288.0, 1.0e5) == pytest.approx(288.0)
+
+
+def test_potential_temperature_increases_aloft_when_stable():
+    # A moist-adiabat-ish profile: theta grows with height (lower p).
+    assert potential_temperature(250.0, 3.0e4) > potential_temperature(288.0, 1.0e5)
+
+
+def test_virtual_temperature_exceeds_dry():
+    assert virtual_temperature(300.0, 0.02) > 300.0
+    assert virtual_temperature(300.0, 0.0) == pytest.approx(300.0)
+
+
+def test_moist_static_energy_components():
+    h_dry = moist_static_energy(280.0, 0.0, 0.0)
+    h_moist = moist_static_energy(280.0, 0.0, 0.01)
+    h_high = moist_static_energy(280.0, 1000.0, 0.0)
+    assert h_moist > h_dry
+    assert h_high > h_dry
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=st.floats(240.0, 310.0))
+def test_dewpoint_inverts_vapor_pressure(t):
+    e = saturation_vapor_pressure(t)
+    np.testing.assert_allclose(dewpoint(e), t, rtol=1e-10)
+
+
+def test_dewpoint_below_temperature_when_subsaturated():
+    t = 295.0
+    e = 0.5 * saturation_vapor_pressure(t)
+    assert dewpoint(e) < t
+
+
+# ------------------------------------------------------------- validation
+def test_require_positive():
+    assert require_positive(3, "x") == 3
+    with pytest.raises(ValueError):
+        require_positive(0, "x")
+    with pytest.raises(TypeError):
+        require_positive(np.array([1.0, 2.0]), "x")
+
+
+def test_require_shape():
+    a = require_shape(np.zeros((2, 3)), (2, 3), "a")
+    assert a.shape == (2, 3)
+    with pytest.raises(ValueError, match="must have shape"):
+        require_shape(np.zeros((3, 2)), (2, 3), "a")
+
+
+def test_require_in_range():
+    assert require_in_range(0.5, 0.0, 1.0, "f") == 0.5
+    with pytest.raises(ValueError):
+        require_in_range(1.5, 0.0, 1.0, "f")
+
+
+def test_require_finite():
+    require_finite(np.ones(3), "ok")
+    with pytest.raises(FloatingPointError, match="2 non-finite"):
+        require_finite(np.array([1.0, np.nan, np.inf]), "bad")
+
+
+# ------------------------------------------------------------- constants
+def test_paper_constants_verbatim():
+    """The coupler constants quoted in the paper, exactly."""
+    from repro.util import constants as c
+
+    assert c.SOIL_MOISTURE_CAPACITY == 0.15        # "a 15 cm soil moisture box"
+    assert c.SNOW_RUNOFF_DEPTH == 1.0              # "greater than 1 m"
+    assert c.RIVER_FLOW_VELOCITY == 0.35           # "a constant 0.35 m/s"
+    assert c.SEAICE_FRESHWATER_DEPTH == 2.0        # "a flux of 2 m of water"
+    assert c.SEAICE_STRESS_DIVISOR == 15.0         # "divided by 15"
+    assert c.T_FREEZE_SEA == pytest.approx(273.15 - 1.92)  # "-1.92 C" clamp
