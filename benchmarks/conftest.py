@@ -13,6 +13,18 @@ import numpy as np
 import pytest
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Exit 0, not 5, when a marker expression deselects every benchmark.
+
+    ``pytest benchmarks/ -m parallel`` (or any ``-m``/``-k`` that matches
+    nothing here) would otherwise fail CI with NO_TESTS_COLLECTED even
+    though nothing is wrong.
+    """
+    deselecting = session.config.getoption("-m") or session.config.getoption("-k")
+    if exitstatus == pytest.ExitCode.NO_TESTS_COLLECTED and deselecting:
+        session.exitstatus = pytest.ExitCode.OK
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(42)

@@ -7,7 +7,19 @@ real NumPy arrays through :class:`SimComm`, on which the decompositions and
 distributed transposes of the component models are built.
 """
 
-from repro.parallel.simmpi import ANY_SOURCE, ANY_TAG, CommError, SimComm, run_ranks
+from repro.parallel.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BlockedRank,
+    CommError,
+    CommStats,
+    DeadlockError,
+    DeadlockReport,
+    RankCrashedError,
+    SimComm,
+    run_ranks,
+)
+from repro.parallel.faults import FaultPlan, corrupt_payload
 from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
 from repro.parallel.transpose import transpose_backward, transpose_forward
 from repro.parallel.trace import ACTIVITIES, RankTrace, Segment, TraceSet
@@ -15,8 +27,15 @@ from repro.parallel.trace import ACTIVITIES, RankTrace, Segment, TraceSet
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BlockedRank",
     "CommError",
+    "CommStats",
+    "DeadlockError",
+    "DeadlockReport",
+    "FaultPlan",
+    "RankCrashedError",
     "SimComm",
+    "corrupt_payload",
     "run_ranks",
     "BlockDecomp1D",
     "BlockDecomp2D",

@@ -27,8 +27,8 @@ from repro.atmosphere.spectral import SpectralTransform
 from repro.ocean.grid import OceanGrid
 from repro.ocean.operators import laplacian
 from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
-from repro.parallel.simmpi import SimComm, run_ranks
-from repro.parallel.transpose import transpose_forward
+from repro.parallel.simmpi import CommStats, SimComm, run_ranks
+from repro.parallel.transpose import transpose_backward, transpose_forward
 
 
 # ----------------------------------------------------------------- physics
@@ -64,7 +64,7 @@ def parallel_physics(nranks: int, *, temp, q, u, v, pressure, ps,
         dqdt = decomp.gather(comm, np.moveaxis(out.dqdt, 0, 1))
         prec = decomp.gather(comm, out.precip_conv + out.precip_strat)
         return dict(dtdt=dtdt, dqdt=dqdt, precip=prec,
-                    physics_messages=physics_messages)
+                    physics_messages=physics_messages, stats=comm.stats)
 
     results = run_ranks(nranks, worker)
     root = results[0]
@@ -72,7 +72,8 @@ def parallel_physics(nranks: int, *, temp, q, u, v, pressure, ps,
         dtdt=np.moveaxis(root["dtdt"], 1, 0),
         dqdt=np.moveaxis(root["dqdt"], 1, 0),
         precip=root["precip"],
-        physics_messages=[r["physics_messages"] for r in results])
+        physics_messages=[r["physics_messages"] for r in results],
+        comm_stats=[r["stats"] for r in results])
 
 
 # ----------------------------------------------------------------- stencils
@@ -113,7 +114,8 @@ def parallel_biharmonic(py: int, px: int, field: np.ndarray,
 
 # ----------------------------------------------------------------- spectral
 def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
-                               grid_field: np.ndarray) -> np.ndarray:
+                               grid_field: np.ndarray,
+                               with_stats: bool = False):
     """Distributed grid->spectral transform (the PCCM2 pattern).
 
     1. each rank FFTs its latitude band (local);
@@ -122,7 +124,8 @@ def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
     4. gather the spectral coefficients.
 
     Bit-identical to ``tr.analyze`` because every rank uses the same
-    quadrature weights and Legendre tables.
+    quadrature weights and Legendre tables.  With ``with_stats=True``
+    returns ``(spec, [CommStats, ...])``, the measured traffic of the run.
     """
     nlat = tr.nlat
     nm = tr.trunc.nm
@@ -138,8 +141,41 @@ def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
         mlo, mhi = block_bounds(nm, comm.size, comm.rank)
         spec_block = np.einsum("jm,jmk->mk", cols, tr._wp[:, mlo:mhi, :])
         gathered = comm.gather(spec_block, root=0)
+        spec = None
         if comm.rank == 0:
-            return np.concatenate(gathered, axis=0) * tr.trunc.mask()
-        return None
+            spec = np.concatenate(gathered, axis=0) * tr.trunc.mask()
+        return spec, comm.stats
 
-    return run_ranks(nranks, worker)[0]
+    results = run_ranks(nranks, worker)
+    spec = results[0][0]
+    if with_stats:
+        return spec, [r[1] for r in results]
+    return spec
+
+
+def measure_transpose_comm(nranks: int, nlat: int, nm: int, nlev: int = 1,
+                           seed: int = 0) -> list[CommStats]:
+    """Measure the real traffic of one forward+backward spectral transpose.
+
+    Runs the distributed transpose on a ``(nlat, nm * nlev)`` complex field
+    (the per-step Fourier-coefficient volume of the spectral transform) and
+    returns per-rank :class:`CommStats` whose ``transpose.*`` labels hold
+    the measured message counts and bytes.  This is the calibration input
+    for ``repro.perf.eventsim.simulate_coupled_day(transpose_comm=...)`` —
+    simulated timing driven by measured traffic instead of the analytic
+    ``AtmosphereCost.transpose_bytes()`` formula.
+    """
+    ncols = nm * nlev
+    rng = np.random.default_rng(seed)
+    full = rng.normal(size=(nlat, ncols)) + 1j * rng.normal(size=(nlat, ncols))
+
+    def worker(comm: SimComm):
+        lo, hi = block_bounds(nlat, comm.size, comm.rank)
+        cols = transpose_forward(comm, full[lo:hi], nlat, ncols)
+        back = transpose_backward(comm, cols, nlat, ncols)
+        if not np.array_equal(back, full[lo:hi]):
+            raise AssertionError(
+                f"rank {comm.rank}: transpose roundtrip not bitwise-identical")
+        return comm.stats
+
+    return run_ranks(nranks, worker)

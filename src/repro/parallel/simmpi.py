@@ -14,6 +14,22 @@ gathers) is structured the same way the Fortran+MPI original was.  The
 companion ``repro.perf`` package models the *timing* of these exchanges on an
 IBM SP2-like machine.
 
+Diagnosability is first-class:
+
+* every communicator keeps a :class:`CommStats` counter of messages, bytes
+  and calls per operation label, the measured traffic that calibrates
+  ``repro.perf.eventsim``;
+* a stuck world is diagnosed by a wait-for-graph deadlock detector instead
+  of a bare timeout: when every live rank is blocked and no pending message
+  can satisfy any of them, each rank raises :class:`DeadlockError` carrying
+  a :class:`DeadlockReport` that names every blocked rank, the operation it
+  is in (recv/barrier/alltoall/...), its peer and tag, within a fraction of
+  a second rather than after two minutes;
+* faults (delays, reordering, duplication, corruption, rank crashes) are
+  injected through a :class:`repro.parallel.faults.FaultPlan`, and a dead
+  rank surfaces on every peer as a structured :class:`CommError` naming the
+  crashed rank — never as a hang.
+
 Typical usage::
 
     def worker(comm):
@@ -26,29 +42,260 @@ Typical usage::
 
 from __future__ import annotations
 
-import queue
+import os
+import sys
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.parallel.faults import FaultPlan
+
 ANY_SOURCE = -1
 ANY_TAG = -1
-_DEFAULT_TIMEOUT = 120.0  # seconds before declaring deadlock in tests
+_DEFAULT_TIMEOUT = 120.0       # seconds before declaring a hang outside pytest
+_PYTEST_TIMEOUT = 10.0         # default under pytest: a genuine bug should not
+                               # cost the suite two minutes of sleeping
+_POLL_SLICE = 0.05             # receiver wake-up cadence for failure checks
+
+
+def _default_timeout() -> float:
+    """Resolve the default communication timeout for this process.
+
+    ``REPRO_SIMMPI_TIMEOUT`` overrides; otherwise the default is low when
+    running under pytest.  The timeout is a last-resort backstop — genuine
+    deadlocks are caught by the wait-for-graph detector long before it.
+    """
+    env = os.environ.get("REPRO_SIMMPI_TIMEOUT")
+    if env:
+        return float(env)
+    if os.environ.get("PYTEST_CURRENT_TEST") or "pytest" in sys.modules:
+        return _PYTEST_TIMEOUT
+    return _DEFAULT_TIMEOUT
 
 
 class CommError(RuntimeError):
-    """Raised on misuse of the communicator (bad rank, deadlock timeout)."""
+    """Raised on misuse of the communicator (bad rank, dead peer, timeout)."""
+
+
+class RankCrashedError(CommError):
+    """Raised on the victim rank by an injected ``FaultPlan.crash`` rule."""
+
+
+@dataclass(frozen=True)
+class BlockedRank:
+    """One blocked rank in a :class:`DeadlockReport`."""
+
+    rank: int
+    op: str                    # operation label: recv, barrier, alltoall, ...
+    peer: int                  # source rank it waits on; ANY_SOURCE if wildcard
+    tag: int                   # tag it waits on; ANY_TAG if wildcard
+    waited: float              # seconds spent blocked when diagnosed
+
+    def __str__(self) -> str:
+        peer = "ANY" if self.peer == ANY_SOURCE else self.peer
+        tag = "ANY" if self.tag == ANY_TAG else self.tag
+        return (f"rank {self.rank}: blocked in {self.op}(source={peer}, "
+                f"tag={tag}) for {self.waited:.2f}s")
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Structured diagnosis of a wedged world.
+
+    ``blocked`` lists every live blocked rank with its operation, peer and
+    tag; ``cycle`` is a wait-for cycle if one exists (``r`` waits on the
+    next entry, the last waits on the first); ``dead`` lists crashed ranks
+    implicated in the hang.
+    """
+
+    blocked: tuple[BlockedRank, ...]
+    cycle: tuple[int, ...] = ()
+    dead: tuple[int, ...] = ()
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(b.rank for b in self.blocked)
+
+    def __str__(self) -> str:
+        lines = [f"deadlock among {len(self.blocked)} rank(s):"]
+        lines += [f"  {b}" for b in self.blocked]
+        if self.cycle:
+            lines.append("  wait-for cycle: "
+                         + " -> ".join(str(r) for r in self.cycle)
+                         + f" -> {self.cycle[0]}")
+        if self.dead:
+            lines.append("  crashed rank(s): "
+                         + ", ".join(str(r) for r in self.dead))
+        return "\n".join(lines)
+
+
+class DeadlockError(CommError):
+    """A diagnosed deadlock; ``.report`` holds the :class:`DeadlockReport`."""
+
+    def __init__(self, report: DeadlockReport):
+        super().__init__(str(report))
+        self.report = report
 
 
 @dataclass
-class _Mailbox:
-    """Per-destination-rank mailbox holding (source, tag, payload) messages."""
+class CommStats:
+    """Per-rank message/byte/operation counters.
 
-    q: "queue.Queue[tuple[int, int, Any]]" = field(default_factory=queue.Queue)
-    # Messages popped while matching a selective recv, awaiting re-delivery.
-    stash: list[tuple[int, int, Any]] = field(default_factory=list)
+    ``op_*`` dictionaries are keyed by the *outermost* operation label
+    active when traffic moved — a send inside ``bcast`` inside ``barrier``
+    is charged to ``"barrier"`` — so transports like the spectral transpose
+    can label their traffic (``"transpose.forward"``) and the performance
+    model can be calibrated from measured volumes
+    (:func:`repro.perf.costmodel.transpose_bytes_from_stats`).
+    """
+
+    rank: int
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    msgs_recv: int = 0
+    bytes_recv: int = 0
+    op_calls: dict[str, int] = field(default_factory=dict)   # label -> # calls
+    op_msgs: dict[str, int] = field(default_factory=dict)    # label -> msgs sent
+    op_bytes: dict[str, int] = field(default_factory=dict)   # label -> bytes sent
+    peer_msgs: dict[int, int] = field(default_factory=dict)  # dest -> msgs sent
+    peer_bytes: dict[int, int] = field(default_factory=dict)  # dest -> bytes sent
+
+    def note_call(self, op: str) -> None:
+        self.op_calls[op] = self.op_calls.get(op, 0) + 1
+
+    def note_send(self, op: str, dest: int, nbytes: int) -> None:
+        self.msgs_sent += 1
+        self.bytes_sent += nbytes
+        self.op_msgs[op] = self.op_msgs.get(op, 0) + 1
+        self.op_bytes[op] = self.op_bytes.get(op, 0) + nbytes
+        self.peer_msgs[dest] = self.peer_msgs.get(dest, 0) + 1
+        self.peer_bytes[dest] = self.peer_bytes.get(dest, 0) + nbytes
+
+    def note_recv(self, nbytes: int) -> None:
+        self.msgs_recv += 1
+        self.bytes_recv += nbytes
+
+    def bytes_for(self, prefix: str) -> int:
+        """Total bytes sent under operation labels starting with ``prefix``."""
+        return sum(v for k, v in self.op_bytes.items() if k.startswith(prefix))
+
+    def msgs_for(self, prefix: str) -> int:
+        """Total messages sent under labels starting with ``prefix``."""
+        return sum(v for k, v in self.op_msgs.items() if k.startswith(prefix))
+
+
+def _find_cycle(edges: dict[int, list[int]]) -> tuple[int, ...]:
+    """Find one cycle in a wait-for graph; () if none."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {r: WHITE for r in edges}
+    for start in edges:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(edges[start]))]
+        color[start] = GREY
+        path = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == GREY:
+                    return tuple(path[path.index(nxt):])
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(edges[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return ()
+
+
+class _World:
+    """Shared state of one rank world: mailboxes, liveness, fault plan.
+
+    All mutation happens under ``cond``; senders notify it, blocked
+    receivers wait on it in short slices so failure diagnosis (dead peers,
+    deadlock) is prompt.
+    """
+
+    def __init__(self, size: int, faults: FaultPlan | None = None):
+        self.size = size
+        self.cond = threading.Condition()
+        # Pending messages per destination: (src, tag, payload, visible_at).
+        self.mail: list[list[tuple[int, int, Any, float]]] = [[] for _ in range(size)]
+        # rank -> (op, source, tag, since) while blocked in a receive.
+        self.blocked: dict[int, tuple[str, int, int, float]] = {}
+        self.finished: set[int] = set()
+        # rank -> (origin_rank, reason): origin is the root-cause crash, so
+        # transitively failing peers keep naming the rank that really died.
+        self.dead: dict[int, tuple[int, str]] = {}
+        self.deadlock: DeadlockReport | None = None
+        self.faults = faults or FaultPlan()
+
+    def mark_finished(self, rank: int) -> None:
+        with self.cond:
+            self.finished.add(rank)
+            self._release_held(self.faults.flush_held(src=rank))
+            self.cond.notify_all()
+
+    def mark_dead(self, rank: int, exc: BaseException) -> None:
+        origin = getattr(exc, "origin_rank", rank)
+        if origin != rank and origin in self.dead:
+            reason = self.dead[origin][1]
+        else:
+            reason = f"{type(exc).__name__}: {exc}"
+        with self.cond:
+            self.dead[rank] = (origin, reason)
+            self._release_held(self.faults.flush_held(src=rank))
+            self.cond.notify_all()
+
+    def _release_held(self, held) -> None:
+        for src, dest, tag, payload, visible in held:
+            self.mail[dest].append((src, tag, payload, visible))
+
+    def detect_deadlock(self, now: float) -> DeadlockReport | None:
+        """Wait-for-graph deadlock check; call with ``cond`` held.
+
+        The world is deadlocked when every live rank is blocked in a
+        receive and no pending (or held) message can satisfy any of them.
+        The last rank to block always runs this check, so detection needs
+        no dedicated watchdog thread.
+        """
+        live = [r for r in range(self.size)
+                if r not in self.finished and r not in self.dead]
+        if not live or any(r not in self.blocked for r in live):
+            return None  # somebody can still make progress
+        held = self.faults.flush_held()
+        if held:  # in-flight reorder holdbacks count as progress
+            self._release_held(held)
+            self.cond.notify_all()
+            return None
+        for r in live:
+            _, src, tag, _ = self.blocked[r]
+            if any(_match(msrc, mtag, src, tag)
+                   for msrc, mtag, _, _ in self.mail[r]):
+                return None  # r has (possibly delayed) matching traffic
+        blocked = tuple(
+            BlockedRank(rank=r, op=self.blocked[r][0], peer=self.blocked[r][1],
+                        tag=self.blocked[r][2], waited=now - self.blocked[r][3])
+            for r in sorted(live))
+        edges = {r: ([self.blocked[r][1]] if self.blocked[r][1] != ANY_SOURCE
+                     else [x for x in live if x != r])
+                 for r in live}
+        report = DeadlockReport(blocked=blocked, cycle=_find_cycle(edges),
+                                dead=tuple(sorted(self.dead)))
+        self.deadlock = report
+        self.cond.notify_all()
+        return report
 
 
 class SimComm:
@@ -60,58 +307,168 @@ class SimComm:
     sender immediately after ``send`` returns).
     """
 
-    def __init__(self, rank: int, size: int, mailboxes: list[_Mailbox],
-                 barrier: threading.Barrier, timeout: float = _DEFAULT_TIMEOUT):
+    def __init__(self, rank: int, size: int, world: _World,
+                 timeout: float | None = None):
         if not 0 <= rank < size:
             raise CommError(f"rank {rank} out of range for world size {size}")
         self.rank = rank
         self.size = size
-        self._mailboxes = mailboxes
-        self._barrier = barrier
-        self._timeout = timeout
-        self.bytes_sent = 0
-        self.messages_sent = 0
+        self._world = world
+        self._timeout = _default_timeout() if timeout is None else timeout
+        self.stats = CommStats(rank=rank)
         # Collective sequence number: every rank calls collectives in the
         # same order, so stamping the tag with a per-call counter keeps
         # back-to-back collectives from consuming each other's messages.
         self._collective_seq = 0
+        self._op_stack: list[str] = []
+        self._op_count = 0
+
+    # Legacy counter aliases (pre-CommStats API).
+    @property
+    def bytes_sent(self) -> int:
+        return self.stats.bytes_sent
+
+    @property
+    def messages_sent(self) -> int:
+        return self.stats.msgs_sent
+
+    @contextmanager
+    def _op(self, name: str):
+        """Operation scope: labels traffic and triggers injected crashes.
+
+        Only the *outermost* scope counts toward ``op_calls`` and the crash
+        op counter, so ``allreduce`` is one op even though it layers on
+        ``reduce`` + ``bcast``.
+        """
+        outermost = not self._op_stack
+        self._op_stack.append(name)
+        try:
+            if outermost:
+                self.stats.note_call(name)
+                self._op_count += 1
+                with self._world.cond:
+                    msg = self._world.faults.crash_message(
+                        self.rank, self._op_count, name)
+                if msg is not None:
+                    raise RankCrashedError(msg)
+            yield
+        finally:
+            self._op_stack.pop()
 
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking standard-mode send (buffered: never deadlocks by itself)."""
+        with self._op("send"):
+            self._send(obj, dest, tag)
+
+    def _send(self, obj: Any, dest: int, tag: int) -> None:
+        if not isinstance(dest, (int, np.integer)):
+            # Catch swapped send(dest, obj) arguments with a clear error
+            # instead of an unhashable-type failure inside the stats layer.
+            raise TypeError(
+                f"send: dest must be an integer rank, got "
+                f"{type(dest).__name__} — signature is send(obj, dest, tag)")
         if not 0 <= dest < self.size:
             raise CommError(f"send: bad destination rank {dest}")
         payload = _copy_payload(obj)
-        self.bytes_sent += _payload_nbytes(payload)
-        self.messages_sent += 1
-        self._mailboxes[dest].q.put((self.rank, tag, payload))
+        op = self._op_stack[0]
+        world = self._world
+        with world.cond:
+            deliveries = world.faults.apply_send(
+                self.rank, dest, tag, payload, time.monotonic())
+            for ddest, dtag, dpayload, visible in deliveries:
+                self.stats.note_send(op, ddest, _payload_nbytes(dpayload))
+                world.mail[ddest].append((self.rank, dtag, dpayload, visible))
+            if deliveries:
+                world.cond.notify_all()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive matching (source, tag); wildcards allowed."""
-        box = self._mailboxes[self.rank]
-        # First scan the stash of previously unmatched messages.
-        for i, (src, t, payload) in enumerate(box.stash):
-            if _match(src, t, source, tag):
-                box.stash.pop(i)
-                return payload
-        while True:
+        with self._op("recv"):
+            return self._recv(source, tag)
+
+    def _recv(self, source: int, tag: int) -> Any:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommError(f"recv: bad source rank {source}")
+        op = self._op_stack[0]
+        world = self._world
+        start = time.monotonic()
+        deadline = start + self._timeout
+        with world.cond:
+            world.blocked[self.rank] = (op, source, tag, start)
             try:
-                src, t, payload = box.q.get(timeout=self._timeout)
-            except queue.Empty:
+                while True:
+                    now = time.monotonic()
+                    box = world.mail[self.rank]
+                    next_visible: float | None = None
+                    for i, (src, t, payload, visible) in enumerate(box):
+                        if not _match(src, t, source, tag):
+                            continue
+                        if visible > now:  # delayed message, not yet deliverable
+                            next_visible = (visible if next_visible is None
+                                            else min(next_visible, visible))
+                            continue
+                        del box[i]
+                        self.stats.note_recv(_payload_nbytes(payload))
+                        return payload
+                    if world.deadlock is not None:
+                        raise DeadlockError(world.deadlock)
+                    if next_visible is None:
+                        # No matching (even delayed) traffic pending: check
+                        # whether the awaited peer can still ever send.
+                        self._check_peer_liveness(source, tag, op)
+                    report = world.detect_deadlock(now)
+                    if report is not None:
+                        raise DeadlockError(report)
+                    if now >= deadline:
+                        raise CommError(
+                            f"rank {self.rank}: {op}(source={source}, tag={tag}) "
+                            f"timed out after {self._timeout}s")
+                    wait = min(_POLL_SLICE, deadline - now)
+                    if next_visible is not None:
+                        wait = min(wait, max(next_visible - now, 0.0) + 1e-4)
+                    world.cond.wait(wait)
+            finally:
+                world.blocked.pop(self.rank, None)
+
+    def _check_peer_liveness(self, source: int, tag: int, op: str) -> None:
+        """Fail fast when the awaited peer(s) can never send; lock held."""
+        world = self._world
+        if source != ANY_SOURCE:
+            if source in world.dead:
+                origin, reason = world.dead[source]
+                err = CommError(
+                    f"rank {self.rank}: {op}(source={source}, tag={tag}) failed "
+                    f"— rank {origin} crashed ({reason})")
+                err.origin_rank = origin
+                raise err
+            if source in world.finished:
                 raise CommError(
-                    f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
-                    f"after {self._timeout}s — likely deadlock") from None
-            if _match(src, t, source, tag):
-                return payload
-            box.stash.append((src, t, payload))
+                    f"rank {self.rank}: {op}(source={source}, tag={tag}) can "
+                    f"never complete — rank {source} already finished")
+            return
+        others = [r for r in range(self.size) if r != self.rank]
+        if others and all(r in world.finished or r in world.dead for r in others):
+            dead = sorted(r for r in others if r in world.dead)
+            if dead:
+                origin, reason = world.dead[dead[0]]
+                err = CommError(
+                    f"rank {self.rank}: {op}(source=ANY, tag={tag}) failed "
+                    f"— rank {origin} crashed ({reason})")
+                err.origin_rank = origin
+                raise err
+            raise CommError(
+                f"rank {self.rank}: {op}(source=ANY, tag={tag}) can never "
+                f"complete — all peers already finished")
 
     def sendrecv(self, obj: Any, dest: int, source: int,
                  sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
         """Combined send+receive; safe for shift patterns (send is buffered)."""
-        self.send(obj, dest, sendtag)
-        return self.recv(source, recvtag)
+        with self._op("sendrecv"):
+            self._send(obj, dest, sendtag)
+            return self._recv(source, recvtag)
 
     # ------------------------------------------------------------------
     # collectives (layered on point-to-point, as in a portable MPI)
@@ -121,102 +478,114 @@ class SimComm:
         return base + self._collective_seq
 
     def barrier(self) -> None:
-        """Synchronize all ranks."""
-        try:
-            self._barrier.wait(timeout=self._timeout)
-        except threading.BrokenBarrierError:
-            raise CommError(f"rank {self.rank}: barrier broken (deadlock or peer died)")
+        """Synchronize all ranks (gather-to-root then broadcast).
+
+        Layering the barrier on point-to-point means a crashed or wedged
+        peer is diagnosed by the same machinery as any other exchange: the
+        deadlock report names the operation as ``barrier``.
+        """
+        with self._op("barrier"):
+            self.gather(None, root=0)
+            self.bcast(None, root=0)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast from root; returns the object on all ranks."""
-        tag = self._collective_tag(_TAG_BCAST)
-        rel = (self.rank - root) % self.size
-        # Receive phase: a non-root rank receives from the parent at its
-        # lowest set bit (standard MPICH binomial tree).
-        mask = 1
-        while mask < self.size:
-            if rel & mask:
-                obj = self.recv(source=(rel - mask + root) % self.size, tag=tag)
-                break
-            mask <<= 1
-        # Send phase: forward to children at all lower bits, descending.
-        mask >>= 1
-        while mask > 0:
-            if rel + mask < self.size:
-                self.send(obj, dest=(rel + mask + root) % self.size, tag=tag)
+        with self._op("bcast"):
+            tag = self._collective_tag(_TAG_BCAST)
+            rel = (self.rank - root) % self.size
+            # Receive phase: a non-root rank receives from the parent at its
+            # lowest set bit (standard MPICH binomial tree).
+            mask = 1
+            while mask < self.size:
+                if rel & mask:
+                    obj = self._recv((rel - mask + root) % self.size, tag)
+                    break
+                mask <<= 1
+            # Send phase: forward to children at all lower bits, descending.
             mask >>= 1
-        return obj
+            while mask > 0:
+                if rel + mask < self.size:
+                    self._send(obj, (rel + mask + root) % self.size, tag)
+                mask >>= 1
+            return obj
 
     def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
         """Binomial-tree reduction to root; returns result on root, None elsewhere."""
-        tag = self._collective_tag(_TAG_REDUCE)
-        rel = (self.rank - root) % self.size
-        acc = obj
-        mask = 1
-        while mask < self.size:
-            if rel & mask:
-                self.send(acc, dest=(rel - mask + root) % self.size, tag=tag)
-                break
-            partner = rel + mask
-            if partner < self.size:
-                other = self.recv(source=(partner + root) % self.size, tag=tag)
-                acc = _combine(acc, other, op)
-            mask <<= 1
-        return acc if self.rank == root else None
+        with self._op("reduce"):
+            tag = self._collective_tag(_TAG_REDUCE)
+            rel = (self.rank - root) % self.size
+            acc = obj
+            mask = 1
+            while mask < self.size:
+                if rel & mask:
+                    self._send(acc, (rel - mask + root) % self.size, tag)
+                    break
+                partner = rel + mask
+                if partner < self.size:
+                    other = self._recv((partner + root) % self.size, tag)
+                    acc = _combine(acc, other, op)
+                mask <<= 1
+            return acc if self.rank == root else None
 
     def allreduce(self, obj: Any, op: str = "sum") -> Any:
         """Reduce-then-broadcast allreduce."""
-        result = self.reduce(obj, op=op, root=0)
-        return self.bcast(result, root=0)
+        with self._op("allreduce"):
+            result = self.reduce(obj, op=op, root=0)
+            return self.bcast(result, root=0)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank into a list on root (rank order)."""
-        tag = self._collective_tag(_TAG_GATHER)
-        if self.rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = _copy_payload(obj)
-            for _ in range(self.size - 1):
-                src, payload = self.recv(source=ANY_SOURCE, tag=tag)
-                out[src] = payload
-            return out
-        self.send((self.rank, obj), dest=root, tag=tag)
-        return None
+        with self._op("gather"):
+            tag = self._collective_tag(_TAG_GATHER)
+            if self.rank == root:
+                out: list[Any] = [None] * self.size
+                out[root] = _copy_payload(obj)
+                for _ in range(self.size - 1):
+                    src, payload = self._recv(ANY_SOURCE, tag)
+                    out[src] = payload
+                return out
+            self._send((self.rank, obj), root, tag)
+            return None
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather to root then broadcast the full list."""
-        full = self.gather(obj, root=0)
-        return self.bcast(full, root=0)
+        with self._op("allgather"):
+            full = self.gather(obj, root=0)
+            return self.bcast(full, root=0)
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter a sequence of world-size objects from root."""
-        tag = self._collective_tag(_TAG_SCATTER)
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise CommError(f"scatter: root must supply {self.size} items")
-            for dest in range(self.size):
-                if dest != root:
-                    self.send(objs[dest], dest=dest, tag=tag)
-            return _copy_payload(objs[root])
-        return self.recv(source=root, tag=tag)
+        with self._op("scatter"):
+            tag = self._collective_tag(_TAG_SCATTER)
+            if self.rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise CommError(f"scatter: root must supply {self.size} items")
+                for dest in range(self.size):
+                    if dest != root:
+                        self._send(objs[dest], dest, tag)
+                return _copy_payload(objs[root])
+            return self._recv(root, tag)
 
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+    def alltoall(self, objs: Sequence[Any], op: str = "alltoall") -> list[Any]:
         """Personalized all-to-all via pairwise exchange rounds.
 
         This is the communication kernel of the parallel spectral transform
         (Foster & Worley 1997): each rank sends a distinct block to every
-        other rank.
+        other rank.  ``op`` lets transports label their traffic (e.g.
+        ``"transpose.forward"``) in deadlock reports and :class:`CommStats`.
         """
         if len(objs) != self.size:
             raise CommError(f"alltoall: need {self.size} items, got {len(objs)}")
-        tag = self._collective_tag(_TAG_ALLTOALL)
-        out: list[Any] = [None] * self.size
-        out[self.rank] = _copy_payload(objs[self.rank])
-        for step in range(1, self.size):
-            dest = (self.rank + step) % self.size
-            src = (self.rank - step) % self.size
-            out[src] = self.sendrecv(objs[dest], dest=dest, source=src,
-                                     sendtag=tag, recvtag=tag)
-        return out
+        with self._op(op):
+            tag = self._collective_tag(_TAG_ALLTOALL)
+            out: list[Any] = [None] * self.size
+            out[self.rank] = _copy_payload(objs[self.rank])
+            for step in range(1, self.size):
+                dest = (self.rank + step) % self.size
+                src = (self.rank - step) % self.size
+                self._send(objs[dest], dest, tag)
+                out[src] = self._recv(src, tag)
+            return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimComm(rank={self.rank}, size={self.size})"
@@ -269,42 +638,58 @@ def _combine(a: Any, b: Any, op: str) -> Any:
 
 
 def run_ranks(size: int, fn: Callable[[SimComm], Any], *,
-              timeout: float = _DEFAULT_TIMEOUT, args: tuple = ()) -> list[Any]:
+              timeout: float | None = None, args: tuple = (),
+              faults: FaultPlan | None = None,
+              return_exceptions: bool = False) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``size`` rank threads; return per-rank results.
 
-    Exceptions on any rank are re-raised in the caller (first by rank order),
-    after all threads have been joined, so a failing test reports the real
-    error instead of a deadlock.
+    ``timeout`` bounds every blocking operation; ``None`` resolves via
+    :func:`_default_timeout` (low under pytest, ``REPRO_SIMMPI_TIMEOUT``
+    overrides).  ``faults`` is an optional
+    :class:`~repro.parallel.faults.FaultPlan` perturbing all traffic.
+
+    With ``return_exceptions=False`` (default), exceptions on any rank are
+    re-raised in the caller after all threads have been joined, preferring
+    the root cause: genuine (non-communication) errors first, then injected
+    crashes, then structured deadlock reports, then secondary ``CommError``
+    fallout.  With ``return_exceptions=True``, each rank's slot in the
+    result list holds either its return value or the exception it raised —
+    the mode fault-injection tests use to assert what *every* peer saw.
     """
     if size < 1:
         raise CommError(f"world size must be >= 1, got {size}")
-    mailboxes = [_Mailbox() for _ in range(size)]
-    barrier = threading.Barrier(size)
+    tmo = _default_timeout() if timeout is None else timeout
+    world = _World(size, faults=faults)
     results: list[Any] = [None] * size
     errors: list[BaseException | None] = [None] * size
 
     def runner(rank: int) -> None:
-        comm = SimComm(rank, size, mailboxes, barrier, timeout=timeout)
+        comm = SimComm(rank, size, world, timeout=tmo)
         try:
             results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - propagate to main thread
             errors[rank] = exc
-            barrier.abort()
+            world.mark_dead(rank, exc)
+        else:
+            world.mark_finished(rank)
 
-    threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(size)]
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(size)]
     for t in threads:
         t.start()
     for t in threads:
-        t.join(timeout=timeout + 10.0)
-    # Prefer the root-cause exception: when one rank dies it aborts the
-    # barrier, so peers fail with secondary CommErrors we should not mask.
-    real = [e for e in errors if e is not None and not isinstance(e, CommError)]
-    if real:
-        raise real[0]
-    for err in errors:
-        if err is not None:
-            raise err
+        t.join(timeout=tmo + 10.0)
     alive = [t for t in threads if t.is_alive()]
     if alive:
         raise CommError(f"{len(alive)} rank thread(s) failed to finish (deadlock?)")
+    if return_exceptions:
+        return [errors[r] if errors[r] is not None else results[r]
+                for r in range(size)]
+    for picker in ((lambda e: not isinstance(e, CommError)),
+                   (lambda e: isinstance(e, RankCrashedError)),
+                   (lambda e: isinstance(e, DeadlockError)),
+                   (lambda e: True)):
+        for err in errors:
+            if err is not None and picker(err):
+                raise err
     return results

@@ -62,9 +62,38 @@ class RankTrace:
 
 @dataclass
 class TraceSet:
-    """Traces for every rank of a run, plus Figure-2-style summaries."""
+    """Traces for every rank of a run, plus Figure-2-style summaries.
+
+    ``comm`` optionally carries the :class:`~repro.parallel.simmpi.CommStats`
+    behind the timeline — either the per-rank counters of the traced run
+    itself, or the measured calibration stats the performance simulator was
+    driven by — so a trace answers both "where did the time go?" (Figure 2)
+    and "what traffic moved?".
+    """
 
     traces: list[RankTrace]
+    comm: list | None = None   # list[CommStats] when attached
+
+    def attach_comm(self, stats) -> "TraceSet":
+        """Attach per-rank CommStats; returns self for chaining."""
+        self.comm = list(stats)
+        return self
+
+    def total_messages(self) -> int:
+        """Total messages sent across all attached CommStats."""
+        return sum(s.msgs_sent for s in self.comm or ())
+
+    def total_comm_bytes(self) -> int:
+        """Total bytes sent across all attached CommStats."""
+        return sum(s.bytes_sent for s in self.comm or ())
+
+    def message_breakdown(self) -> dict[str, int]:
+        """Messages sent per operation label, summed over ranks."""
+        out: dict[str, int] = {}
+        for s in self.comm or ():
+            for op, n in s.op_msgs.items():
+                out[op] = out.get(op, 0) + n
+        return out
 
     @property
     def nranks(self) -> int:

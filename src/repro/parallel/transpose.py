@@ -33,14 +33,21 @@ def transpose_forward(comm: SimComm, local_rows: np.ndarray, nrows: int, ncols: 
     -------
     ndarray of shape ``(nrows, my_cols)`` — every global row, but only this
     rank's block of columns.
+
+    The underlying all-to-all is labeled ``"transpose.forward"``, so its
+    traffic is attributable in :class:`~repro.parallel.simmpi.CommStats`
+    and a wedged transpose is named as such in a
+    :class:`~repro.parallel.simmpi.DeadlockReport`.
     """
-    if local_rows.ndim != 2 or local_rows.shape[1] != ncols:
-        raise ValueError(f"local_rows must be (my_rows, {ncols}), got {local_rows.shape}")
+    rlo, rhi = block_bounds(nrows, comm.size, comm.rank)
+    if local_rows.ndim != 2 or local_rows.shape != (rhi - rlo, ncols):
+        raise ValueError(
+            f"local_rows must be ({rhi - rlo}, {ncols}), got {local_rows.shape}")
     sendblocks = []
     for dest in range(comm.size):
         clo, chi = block_bounds(ncols, comm.size, dest)
         sendblocks.append(np.ascontiguousarray(local_rows[:, clo:chi]))
-    recvblocks = comm.alltoall(sendblocks)
+    recvblocks = comm.alltoall(sendblocks, op="transpose.forward")
     # recvblocks[src] holds src's rows of *our* columns; stack by row block.
     return np.concatenate(recvblocks, axis=0)
 
@@ -55,5 +62,5 @@ def transpose_backward(comm: SimComm, local_cols: np.ndarray, nrows: int, ncols:
     for dest in range(comm.size):
         rlo, rhi = block_bounds(nrows, comm.size, dest)
         sendblocks.append(np.ascontiguousarray(local_cols[rlo:rhi, :]))
-    recvblocks = comm.alltoall(sendblocks)
+    recvblocks = comm.alltoall(sendblocks, op="transpose.backward")
     return np.concatenate(recvblocks, axis=1)

@@ -16,6 +16,8 @@ from repro.perf.costmodel import (
     OceanCost,
     atmosphere_ocean_cost_ratio,
     foam_paper_costs,
+    transpose_bytes_from_stats,
+    transpose_messages_from_stats,
 )
 from repro.perf.eventsim import (
     SimulationResult,
@@ -34,6 +36,7 @@ __all__ = [
     "MachineModel", "commodity_cluster_1999", "cray_c90", "ibm_sp2",
     "AtmosphereCost", "CouplerCost", "OceanCost",
     "atmosphere_ocean_cost_ratio", "foam_paper_costs",
+    "transpose_bytes_from_stats", "transpose_messages_from_stats",
     "SimulationResult", "atmosphere_parallel_efficiency", "scaling_curve",
     "simulate_coupled_day", "simulate_ocean_day",
     "CSMCostModel", "cost_performance_ratio", "foam_cost_musd",

@@ -143,6 +143,29 @@ def foam_paper_costs() -> tuple[AtmosphereCost, OceanCost, CouplerCost]:
     return AtmosphereCost(), OceanCost(), CouplerCost()
 
 
+def transpose_bytes_from_stats(stats) -> float:
+    """Full-exchange transpose volume estimated from measured CommStats.
+
+    ``stats`` is the per-rank list returned by
+    ``repro.parallel.components.measure_transpose_comm`` (or any run whose
+    transpose traffic is labeled ``transpose.*``).  An alltoall on ``k``
+    ranks moves only the off-diagonal ``(k-1)/k`` of the global array, so
+    the measurement is rescaled to the full exchange volume the
+    :meth:`MachineModel.alltoall_time` formula expects — making the
+    estimate independent of the rank count it was measured at.
+    """
+    k = len(stats)
+    measured = float(sum(s.bytes_for("transpose") for s in stats))
+    if k <= 1:
+        return measured
+    return measured * k / (k - 1)
+
+
+def transpose_messages_from_stats(stats) -> int:
+    """Total transpose messages measured across ranks (diagnostic)."""
+    return sum(s.msgs_for("transpose") for s in stats)
+
+
 def atmosphere_ocean_cost_ratio(atm: AtmosphereCost | None = None,
                                 ocn: OceanCost | None = None) -> float:
     """The paper's ~16x figure: atmosphere vs ocean ops per simulated day."""

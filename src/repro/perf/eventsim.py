@@ -29,7 +29,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.parallel.trace import RankTrace, TraceSet
-from repro.perf.costmodel import AtmosphereCost, CouplerCost, OceanCost
+from repro.perf.costmodel import (
+    AtmosphereCost,
+    CouplerCost,
+    OceanCost,
+    transpose_bytes_from_stats,
+)
 from repro.perf.machine import MachineModel, ibm_sp2
 
 
@@ -76,8 +81,17 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
                          ocn: OceanCost | None = None,
                          cpl: CouplerCost | None = None,
                          imbalance: float = 0.10,
-                         seed: int = 0) -> SimulationResult:
-    """Simulate one coupled simulated day; returns traces + throughput."""
+                         seed: int = 0,
+                         transpose_comm=None) -> SimulationResult:
+    """Simulate one coupled simulated day; returns traces + throughput.
+
+    ``transpose_comm`` optionally supplies measured per-rank
+    :class:`~repro.parallel.simmpi.CommStats` from a real distributed
+    transpose (``repro.parallel.components.measure_transpose_comm``); the
+    per-step transpose cost is then charged from the *measured* byte volume
+    instead of the analytic ``AtmosphereCost.transpose_bytes()`` formula,
+    and the stats are attached to the returned ``TraceSet.comm``.
+    """
     machine = machine or ibm_sp2()
     atm = atm or AtmosphereCost()
     ocn = ocn or OceanCost()
@@ -97,8 +111,11 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     ocean_work_start = None
 
     coupler_time = machine.compute_time(cpl.step_ops() / n_atm_ranks)
-    transpose_time = machine.alltoall_time(
-        n_atm_ranks, atm.transpose_bytes())
+    if transpose_comm is not None:
+        transpose_volume = transpose_bytes_from_stats(transpose_comm)
+    else:
+        transpose_volume = atm.transpose_bytes()
+    transpose_time = machine.alltoall_time(n_atm_ranks, transpose_volume)
 
     for k in range(nsteps):
         step_ops = atm.step_ops(radiation=k in radiation_steps)
@@ -151,6 +168,8 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
         t = end
 
     traces = TraceSet(atm_traces + ocn_traces)
+    if transpose_comm is not None:
+        traces.attach_comm(transpose_comm)
     return SimulationResult(traces=traces, wall_seconds=t,
                             simulated_seconds=86400.0,
                             n_atm_ranks=n_atm_ranks, n_ocn_ranks=n_ocn_ranks)

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.parallel import BlockDecomp1D, BlockDecomp2D, block_bounds, run_ranks
 
+pytestmark = pytest.mark.parallel
+
 
 # ---------------------------------------------------------------- block_bounds
 @given(n=st.integers(1, 500), parts=st.integers(1, 32))

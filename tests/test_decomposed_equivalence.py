@@ -1,0 +1,127 @@
+"""Golden decomposed-vs-serial equivalence: the paper's central claim, bitwise.
+
+FOAM's correctness argument (PAPER.md section 4, DESIGN.md) is that the
+MPI-decomposed model produces *exactly* the serial answer — not merely
+close.  These tests pin that down as executable, bitwise assertions on
+1, 2 and 4 ranks for the two communication-heavy paths:
+
+* the transpose-based parallel spectral transform (FFT -> distributed
+  transpose -> Legendre quadrature -> gather), and
+* the coupler-style flux computation decomposed by latitude band and
+  reassembled with the coupler gather.
+
+Tolerance-based comparisons would hide exactly the class of bug this layer
+exists to catch (a misrouted block, a swapped tag, an off-by-one halo), so
+every assertion here is ``assert_array_equal``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere.physics.surface_flux import bulk_fluxes
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.parallel import (
+    BlockDecomp1D,
+    block_bounds,
+    run_ranks,
+    transpose_backward,
+    transpose_forward,
+)
+from repro.parallel.components import parallel_spectral_analysis
+
+pytestmark = pytest.mark.parallel
+
+RANK_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def transform():
+    return SpectralTransform(nlat=20, nlon=32, trunc=Truncation(8))
+
+
+@pytest.fixture(scope="module")
+def grid_field(transform):
+    rng = np.random.default_rng(7)
+    spec = (rng.normal(size=transform.spec_shape)
+            + 1j * rng.normal(size=transform.spec_shape))
+    spec[0, :] = spec[0, :].real
+    return transform.synthesize(spec)
+
+
+@pytest.mark.parametrize("nranks", RANK_COUNTS)
+def test_spectral_path_bitwise_identical(transform, grid_field, nranks):
+    """Decomposed spectral analysis == serial analysis, to the last bit."""
+    serial = transform.analyze(grid_field)
+    par = parallel_spectral_analysis(nranks, transform, grid_field)
+    np.testing.assert_array_equal(par, serial)
+
+
+@pytest.mark.parametrize("nranks", RANK_COUNTS)
+def test_transpose_roundtrip_bitwise_identical(nranks):
+    """forward then backward transpose returns every rank's exact rows,
+    including uneven block sizes (10 rows over 4 ranks)."""
+    nrows, ncols = 10, 7
+    rng = np.random.default_rng(1)
+    full = rng.normal(size=(nrows, ncols)) + 1j * rng.normal(size=(nrows, ncols))
+
+    def worker(comm):
+        lo, hi = block_bounds(nrows, comm.size, comm.rank)
+        cols = transpose_forward(comm, full[lo:hi], nrows, ncols)
+        # The column block itself must be the exact global columns.
+        clo, chi = block_bounds(ncols, comm.size, comm.rank)
+        if not np.array_equal(cols, full[:, clo:chi]):
+            raise AssertionError(f"rank {comm.rank}: forward block differs")
+        back = transpose_backward(comm, cols, nrows, ncols)
+        return np.array_equal(back, full[lo:hi])
+
+    assert all(run_ranks(nranks, worker, timeout=30.0))
+
+
+@pytest.fixture(scope="module")
+def flux_inputs():
+    nlat, nlon = 12, 16
+    rng = np.random.default_rng(3)
+    return dict(
+        t_air=280.0 + rng.normal(scale=10.0, size=(nlat, nlon)),
+        q_air=np.abs(rng.normal(scale=5e-3, size=(nlat, nlon))),
+        u_air=rng.normal(scale=6.0, size=(nlat, nlon)),
+        v_air=rng.normal(scale=6.0, size=(nlat, nlon)),
+        p_sfc=1.0e5 + rng.normal(scale=2e3, size=(nlat, nlon)),
+        t_sfc=282.0 + rng.normal(scale=8.0, size=(nlat, nlon)),
+        z0=np.full((nlat, nlon), 1e-3),
+        wetness=rng.uniform(0.2, 1.0, size=(nlat, nlon)),
+    )
+
+
+@pytest.mark.parametrize("nranks", RANK_COUNTS)
+def test_coupler_flux_gather_bitwise_identical(flux_inputs, nranks):
+    """Latitude-band flux computation + coupler gather == the serial fluxes."""
+    serial = bulk_fluxes(**flux_inputs)
+    nlat, nlon = flux_inputs["t_air"].shape
+    decomp = BlockDecomp1D(nlat=nlat, nlon=nlon, nranks=nranks)
+
+    def worker(comm):
+        lo, hi = decomp.bounds(comm.rank)
+        local = bulk_fluxes(**{k: v[lo:hi] for k, v in flux_inputs.items()})
+        return {k: decomp.gather(comm, local[k]) for k in ("shf", "lhf", "evap",
+                                                           "taux", "tauy")}
+
+    gathered = run_ranks(nranks, worker, timeout=30.0)[0]
+    for key, full in gathered.items():
+        np.testing.assert_array_equal(full, serial[key])
+
+
+@pytest.mark.parametrize("nranks", RANK_COUNTS)
+def test_scatter_gather_roundtrip_bitwise(nranks):
+    """The decomposition's own scatter/gather moves blocks untouched."""
+    nlat, nlon = 9, 5
+    rng = np.random.default_rng(11)
+    full = rng.normal(size=(nlat, nlon))
+    decomp = BlockDecomp1D(nlat=nlat, nlon=nlon, nranks=nranks)
+
+    def worker(comm):
+        local = decomp.scatter(comm, full if comm.rank == 0 else None)
+        return decomp.gather(comm, local)
+
+    out = run_ranks(nranks, worker, timeout=30.0)
+    np.testing.assert_array_equal(out[0], full)

@@ -1,0 +1,255 @@
+"""Fault-injection and deadlock-diagnosis regression tests.
+
+The requirements these encode (ISSUE 2): a crashed rank surfaces as a
+``CommError`` naming the dead rank on *every* peer rather than a hang; a
+recv/recv tag-mismatch cycle is diagnosed as a structured
+:class:`DeadlockReport` within ~2 seconds, not a 120-second timeout; and
+every FaultPlan perturbation (delay, reorder, duplicate, corrupt, crash)
+is observable through the normal API.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CommError,
+    DeadlockError,
+    FaultPlan,
+    RankCrashedError,
+    SimComm,
+    block_bounds,
+    run_ranks,
+    transpose_forward,
+)
+
+pytestmark = pytest.mark.parallel
+
+
+# ------------------------------------------------------------------ crashes
+def test_crashed_rank_named_on_every_peer():
+    """Rank 2 dies at its first op; every peer gets a CommError naming it."""
+    def worker(comm):
+        if comm.rank == 2:
+            comm.barrier()  # injected crash fires here
+            return "unreachable"
+        try:
+            return comm.recv(source=2, tag=9)
+        except CommError as exc:
+            return str(exc)
+
+    t0 = time.monotonic()
+    out = run_ranks(4, worker, timeout=30.0,
+                    faults=FaultPlan().crash(rank=2, at_op=1),
+                    return_exceptions=True)
+    elapsed = time.monotonic() - t0
+    assert elapsed < 5.0, f"crash diagnosis took {elapsed:.1f}s"
+    assert isinstance(out[2], RankCrashedError)
+    for rank in (0, 1, 3):
+        assert isinstance(out[rank], str), f"rank {rank} did not fail cleanly"
+        assert "rank 2 crashed" in out[rank]
+
+
+def test_crash_at_later_op_counts_operations():
+    """at_op=3 lets the first two collectives finish, then kills the rank."""
+    def worker(comm):
+        a = comm.allreduce(1)          # op 1: completes on all ranks
+        b = comm.allreduce(2)          # op 2: completes on all ranks
+        c = comm.allreduce(3)          # op 3: rank 1 dies entering this
+        return (a, b, c)
+
+    with pytest.raises(RankCrashedError, match=r"rank 1: injected crash at communication op #3"):
+        run_ranks(3, worker, timeout=30.0, faults=FaultPlan().crash(rank=1, at_op=3))
+
+
+def test_crash_during_collective_fails_peers_not_hangs():
+    """A death mid-collective propagates as CommError fallout, not a hang."""
+    def worker(comm):
+        return comm.bcast(np.arange(4.0) if comm.rank == 0 else None, root=0)
+
+    t0 = time.monotonic()
+    out = run_ranks(4, worker, timeout=30.0,
+                    faults=FaultPlan().crash(rank=0, at_op=1),
+                    return_exceptions=True)
+    assert time.monotonic() - t0 < 5.0
+    assert isinstance(out[0], RankCrashedError)
+    assert all(isinstance(o, CommError) for o in out)
+
+
+# ----------------------------------------------------------------- deadlock
+def test_tag_mismatch_cycle_reported_within_two_seconds():
+    """The issue's canonical cycle: 0 recv-from 1, 1 recv-from 0, wrong tags."""
+    def worker(comm):
+        peer = 1 - comm.rank
+        comm.send(comm.rank, dest=peer, tag=comm.rank)      # tags 0 and 1
+        return comm.recv(source=peer, tag=5)                # nobody sends tag 5
+
+    t0 = time.monotonic()
+    with pytest.raises(DeadlockError) as excinfo:
+        run_ranks(2, worker, timeout=60.0)
+    elapsed = time.monotonic() - t0
+    assert elapsed < 2.0, f"deadlock diagnosis took {elapsed:.1f}s"
+
+    report = excinfo.value.report
+    assert report.ranks == (0, 1)
+    for blocked in report.blocked:
+        assert blocked.op == "recv"
+        assert blocked.peer == 1 - blocked.rank
+        assert blocked.tag == 5
+    assert set(report.cycle) == {0, 1}
+
+
+def test_deadlock_report_names_barrier():
+    """A rank skipping a barrier wedges the rest; the report says 'barrier'."""
+    def worker(comm):
+        if comm.rank == 0:
+            return comm.recv(source=2, tag=77)   # never sent
+        comm.barrier()
+        return True
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_ranks(3, worker, timeout=60.0)
+    ops = {b.rank: b.op for b in excinfo.value.report.blocked}
+    assert ops[0] == "recv"
+    assert ops[1] == "barrier" and ops[2] == "barrier"
+
+
+def test_tag_mismatch_in_transpose_forward_is_diagnosed():
+    """ISSUE 2 acceptance: a deliberately-introduced tag mismatch inside
+    transpose_forward surfaces as a DeadlockReport naming the blocked ranks
+    and the transpose operation in < 5 s."""
+    nrows, ncols = 8, 6
+    rng = np.random.default_rng(0)
+    full = rng.normal(size=(nrows, ncols))
+
+    orig = SimComm._collective_tag
+
+    def skewed_tag(self, base):
+        # Rank-dependent collective tags: the textbook way transposes wedge.
+        return orig(self, base) + self.rank
+
+    def worker(comm):
+        lo, hi = block_bounds(nrows, comm.size, comm.rank)
+        return transpose_forward(comm, full[lo:hi], nrows, ncols)
+
+    SimComm._collective_tag = skewed_tag
+    try:
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError) as excinfo:
+            run_ranks(3, worker, timeout=60.0)
+        elapsed = time.monotonic() - t0
+    finally:
+        SimComm._collective_tag = orig
+
+    assert elapsed < 5.0, f"transpose deadlock diagnosis took {elapsed:.1f}s"
+    report = excinfo.value.report
+    assert len(report.blocked) >= 2
+    assert any(b.op == "transpose.forward" for b in report.blocked)
+
+
+# ------------------------------------------------------- message perturbation
+def test_delayed_message_arrives_late_but_intact():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(3.0), dest=1, tag=4)
+            return None
+        t0 = time.monotonic()
+        data = comm.recv(source=0, tag=4)
+        return (time.monotonic() - t0, data)
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().delay(0.3, src=0, dest=1))
+    waited, data = out[1]
+    assert waited >= 0.25
+    np.testing.assert_array_equal(data, np.arange(3.0))
+
+
+def test_duplicate_delivery():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send("hello", dest=1, tag=2)
+            return None
+        return (comm.recv(source=0, tag=2), comm.recv(source=0, tag=2))
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().duplicate(src=0, dest=1, times=1))
+    assert out[1] == ("hello", "hello")
+
+
+def test_corruption_is_deterministic_and_detectable():
+    payload = np.arange(5.0)
+
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(payload, dest=1)
+            return None
+        return comm.recv(source=0)
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().corrupt(src=0, dest=1))
+    assert not np.array_equal(out[1], payload)
+    np.testing.assert_array_equal(out[1], -payload - 1)
+
+
+def test_reorder_swaps_consecutive_messages():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=3)
+            comm.send("second", dest=1, tag=3)
+            return None
+        return (comm.recv(source=0, tag=3), comm.recv(source=0, tag=3))
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().reorder(src=0, dest=1))
+    assert out[1] == ("second", "first")
+
+
+def test_reorder_holdback_is_flushed_not_wedged():
+    """A single held message must be released, not turn into a fake deadlock."""
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send("only", dest=1, tag=6)
+            return None
+        return comm.recv(source=0, tag=6)
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().reorder(src=0, dest=1))
+    assert out[1] == "only"
+
+
+def test_faults_thread_through_collectives():
+    """Corrupting root's outbound traffic perturbs a bcast result."""
+    def worker(comm):
+        return comm.bcast(np.ones(4) if comm.rank == 0 else None, root=0)
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().corrupt(src=0, dest=1))
+    np.testing.assert_array_equal(out[0], np.ones(4))      # root untouched
+    np.testing.assert_array_equal(out[1], -np.ones(4) - 1)  # peer corrupted
+
+
+def test_delay_under_collective_does_not_break_correctness():
+    """Delays slow a reduction but cannot change its value."""
+    def worker(comm):
+        return comm.allreduce(comm.rank + 1, op="sum")
+
+    out = run_ranks(4, worker, timeout=30.0, faults=FaultPlan().delay(0.05))
+    assert out == [10, 10, 10, 10]
+
+
+# ------------------------------------------------------------------- stats
+def test_comm_stats_label_traffic_by_operation():
+    def worker(comm):
+        comm.bcast(np.zeros(8) if comm.rank == 0 else None, root=0)
+        comm.barrier()
+        return comm.stats
+
+    stats = run_ranks(4, worker, timeout=30.0)
+    assert all(s.op_calls.get("bcast") == 1 for s in stats)
+    assert all(s.op_calls.get("barrier") == 1 for s in stats)
+    total_sent = sum(s.msgs_sent for s in stats)
+    total_recv = sum(s.msgs_recv for s in stats)
+    assert total_sent == total_recv > 0
+    # Traffic inside the barrier's gather/bcast is charged to "barrier".
+    assert sum(s.op_msgs.get("barrier", 0) for s in stats) > 0

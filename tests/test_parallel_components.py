@@ -15,6 +15,8 @@ from repro.parallel.components import (
 )
 from repro.util.thermo import saturation_mixing_ratio
 
+pytestmark = pytest.mark.parallel
+
 
 @pytest.fixture(scope="module")
 def column_setup():

@@ -189,3 +189,42 @@ def test_trace_ascii_rendering():
     lines = art.splitlines()
     assert len(lines) == 5
     assert "A" in art and "O" in art
+
+
+# ------------------------------------------- CommStats-calibrated timing
+def test_eventsim_accepts_measured_transpose_comm():
+    """ISSUE 2 acceptance: eventsim driven by a CommStats-derived message
+    volume (measured on the real distributed transpose) must land within
+    10% of the analytic-formula throughput."""
+    pytest.importorskip("repro.parallel.components")
+    from repro.parallel.components import measure_transpose_comm
+    from repro.perf import transpose_bytes_from_stats, transpose_messages_from_stats
+
+    atm = AtmosphereCost()
+    stats = measure_transpose_comm(4, nlat=atm.nlat, nm=atm.mmax + 1,
+                                   nlev=atm.nlev)
+    assert transpose_messages_from_stats(stats) == 2 * 4 * 3  # fwd+back pairwise
+
+    measured = transpose_bytes_from_stats(stats)
+    analytic = atm.transpose_bytes()
+    assert measured == pytest.approx(analytic, rel=0.10)
+
+    base = simulate_coupled_day(8, 1, seed=0)
+    calibrated = simulate_coupled_day(8, 1, seed=0, transpose_comm=stats)
+    assert calibrated.speedup == pytest.approx(base.speedup, rel=0.10)
+    # The measured stats ride along on the trace set.
+    assert calibrated.traces.comm is not None
+    assert calibrated.traces.total_messages() > 0
+    assert calibrated.traces.total_comm_bytes() > 0
+    assert any(op.startswith("transpose")
+               for op in calibrated.traces.message_breakdown())
+
+
+def test_measured_transpose_volume_rank_count_invariant():
+    """The full-exchange estimate must not depend on the measuring world."""
+    from repro.parallel.components import measure_transpose_comm
+    from repro.perf import transpose_bytes_from_stats
+
+    volumes = [transpose_bytes_from_stats(
+        measure_transpose_comm(k, nlat=16, nm=8, nlev=3)) for k in (2, 4)]
+    assert volumes[0] == pytest.approx(volumes[1], rel=1e-12)
