@@ -9,7 +9,6 @@ actual spectral dynamical core's wall-clock.
 
 import time
 
-import numpy as np
 
 from conftest import report
 from repro.atmosphere.dynamics import SpectralDynamicalCore

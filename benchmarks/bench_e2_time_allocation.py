@@ -28,7 +28,8 @@ def test_figure2_time_allocation(benchmark):
         ("coupler share", "small", f"{100*b['coupler']:.0f} %"),
         ("ocean share (1 of 17 ranks)", "~1 node", f"{100*b['ocean']:.0f} %"),
         ("idle (load imbalance + waits)", "visible", f"{100*b['idle']:.0f} %"),
-        ("atmosphere steps per day", "48", f"{sum(1 for s in traces.traces[0].segments if s.activity=='atmosphere')}"),
+        ("atmosphere steps per day", "48",
+         f"{sum(1 for s in traces.traces[0].segments if s.activity == 'atmosphere')}"),
         ("radiation step vs normal step", "much longer", f"{radiation_ratio:.1f}x"),
         ("throughput at 17 nodes", "2,000-4,000x", f"{result.speedup:,.0f}x"),
     ])

@@ -7,7 +7,6 @@ measures the *actual Python ocean* stepping rate to document what this
 reproduction achieves in serial NumPy.
 """
 
-import time
 
 import numpy as np
 

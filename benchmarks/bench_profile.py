@@ -1,0 +1,73 @@
+"""Measured runtime profile of the real coupled model (ISSUE 3 tentpole).
+
+Unlike the ``bench_eN`` experiments, which replay the paper on the modeled
+1997 machine, this bench measures the *actual* Python components with
+``repro.perf.profiler``, calibrates the event simulator from the measured
+section costs, and persists the whole thing as ``BENCH_profile.json`` — the
+machine-checkable perf trajectory across PRs.
+
+Set ``BENCH_PROFILE_PATH`` to control where the JSON artifact lands
+(defaults to ``BENCH_profile.json`` in the current directory).
+"""
+
+import json
+import os
+
+from conftest import report
+from repro.perf import calibrate_from_profile, simulate_coupled_day
+from repro.perf.report import profile_coupled_run
+
+# One coupling interval of the test configuration: includes the step-0
+# radiation pass and one ocean call — the minimum run that calibrates every
+# event-simulator section.  Deterministic (config seed) and fast (~0.1 s).
+PROFILE_DAYS = 0.25
+
+
+def test_profile_coupled_run(benchmark):
+    profile = benchmark.pedantic(
+        profile_coupled_run, kwargs={"days": PROFILE_DAYS, "config": "test"},
+        rounds=1, iterations=1)
+
+    assert profile.sections, "profiled run recorded no sections"
+    mc = calibrate_from_profile(profile)
+    assert mc.radiation_step_seconds > mc.step_seconds > 0.0
+
+    # Replay one simulated day on the modeled machine at the measured costs.
+    sim = simulate_coupled_day(16, 1, seed=0, measured=mc)
+
+    out_path = os.environ.get("BENCH_PROFILE_PATH", "BENCH_profile.json")
+    payload = {
+        "profile": profile.to_dict(),
+        "calibration": {
+            "step_seconds": mc.step_seconds,
+            "radiation_step_seconds": mc.radiation_step_seconds,
+            "coupler_seconds": mc.coupler_seconds,
+            "ocean_call_seconds": mc.ocean_call_seconds,
+            "transpose_seconds": mc.transpose_seconds,
+            "source": mc.source,
+        },
+        "replay": {
+            "n_atm_ranks": sim.n_atm_ranks,
+            "n_ocn_ranks": sim.n_ocn_ranks,
+            "wall_seconds": sim.wall_seconds,
+            "speedup": sim.speedup,
+            "per_step_costs": sim.per_step_costs,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    top = {s.path: s.inclusive for s in profile.roots()}
+    report("Eprof: measured time allocation (test config, "
+           f"{PROFILE_DAYS:g} simulated days)", [
+        ("atmosphere inclusive seconds", "dominant",
+         f"{top.get('atmosphere', 0.0):.4f} s"),
+        ("coupler inclusive seconds", "small",
+         f"{top.get('coupler', 0.0):.4f} s"),
+        ("ocean inclusive seconds", "sliver",
+         f"{top.get('ocean', 0.0):.4f} s"),
+        ("radiation step vs ordinary step", "> 1x",
+         f"{mc.radiation_step_seconds / mc.step_seconds:.2f}x"),
+        ("profile artifact", "BENCH_profile.json", out_path),
+    ])
+    assert os.path.exists(out_path)

@@ -18,7 +18,6 @@ model:
 Run:  python examples/parallel_scaling.py
 """
 
-import numpy as np
 
 from repro.perf import (
     CSMCostModel,

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Profile a coupled run and replay it on the modeled 1997 machine.
+
+Walkthrough of the runtime profiling layer (``repro.perf.profiler``):
+
+1. run the coupled model with profiling enabled and capture a
+   hierarchical per-section :class:`~repro.perf.profiler.RunProfile`;
+2. print the measured time-allocation table — the wall-clock analogue
+   of the paper's Figure 2;
+3. calibrate the discrete-event simulator from the measured section
+   costs (:func:`~repro.perf.costmodel.calibrate_from_profile`) and
+   replay one simulated day on 16 modeled atmosphere ranks.
+
+Run:  PYTHONPATH=src python examples/profile_coupled_day.py
+"""
+
+from repro.perf import calibrate_from_profile, simulate_coupled_day
+from repro.perf.report import format_calibration, profile_coupled_run
+
+
+def main() -> None:
+    print("=== FOAM profiled coupled run ===")
+
+    # Step 1: a profiled quarter-day at the test resolution (6 coupled
+    # steps — includes the step-0 radiation pass and one ocean call).
+    profile = profile_coupled_run(days=0.25, config="test")
+    print(f"captured: {profile.label}\n")
+
+    # Step 2: the measured Figure-2-style table.  Inclusive time counts
+    # children; exclusive time is a section's own work.
+    print(profile.format_table(min_fraction=0.005))
+    print()
+    print(format_calibration(profile))
+
+    # Step 3: drive the event simulator from the measured costs instead
+    # of the analytic 1997 machine model.
+    mc = calibrate_from_profile(profile)
+    sim = simulate_coupled_day(16, 1, seed=0, measured=mc)
+    print(f"\nreplayed on 16+1 modeled ranks: "
+          f"wall {sim.wall_seconds:.3f} s for one simulated day "
+          f"({sim.speedup:,.0f}x real time)")
+    busy = sim.traces.breakdown()
+    total = sum(busy.values())
+    for activity, seconds in sorted(busy.items(), key=lambda kv: -kv[1]):
+        print(f"  {activity:12s} {100 * seconds / total:5.1f}% of rank-time")
+
+    # Profiles serialise to JSON for archiving / diffing across commits:
+    #   profile.save("profile.json"); RunProfile.load("profile.json")
+    # or from the command line:
+    #   PYTHONPATH=src python -m repro.perf.report --days 0.5 --json out.json
+
+
+if __name__ == "__main__":
+    main()

@@ -5,21 +5,21 @@ climatology vs observations) and Figure 4 (VARIMAX-rotated EOF of 60-month
 low-pass filtered SST showing the two-basin decadal mode).
 """
 
-from repro.analysis.eof import EOFResult, compute_eofs
-from repro.analysis.varimax import rotated_variance_fractions, varimax
-from repro.analysis.filters import (
-    detrend,
-    lanczos_lowpass_weights,
-    lowpass,
-    monthly_means,
-)
 from repro.analysis.climatology import (
     anomalies,
     area_weights_from_lats,
     time_mean,
     zonal_mean,
 )
+from repro.analysis.eof import EOFResult, compute_eofs
+from repro.analysis.filters import (
+    detrend,
+    lanczos_lowpass_weights,
+    lowpass,
+    monthly_means,
+)
 from repro.analysis.sst_obs import sst_error_statistics, synthetic_sst_climatology
+from repro.analysis.varimax import rotated_variance_fractions, varimax
 
 __all__ = [
     "EOFResult", "compute_eofs",

@@ -12,14 +12,14 @@ interprocessor communication.  Subpackages:
   boundary layer, and surface-flux parameterizations.
 """
 
-from repro.atmosphere.spectral import SpectralTransform, Truncation
-from repro.atmosphere.vertical import VerticalGrid
 from repro.atmosphere.dynamics import (
     AtmosphereState,
     GridDiagnostics,
     SpectralDynamicalCore,
 )
 from repro.atmosphere.semilag import advect_semilagrangian
+from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.vertical import VerticalGrid
 
 __all__ = [
     "SpectralTransform",

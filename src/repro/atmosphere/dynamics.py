@@ -23,13 +23,14 @@ Array conventions: grid fields are (nlev, nlat, nlon); spectral fields are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.atmosphere.semilag import advect_semilagrangian
-from repro.atmosphere.spectral import SpectralTransform, Truncation
+from repro.atmosphere.spectral import SpectralTransform
 from repro.atmosphere.vertical import VerticalGrid
+from repro.perf.profiler import profile_section, profiled
 from repro.util.constants import CP, KAPPA, OMEGA, P0, RD
 
 
@@ -151,6 +152,7 @@ class SpectralDynamicalCore:
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    @profiled("diagnose")
     def diagnose(self, state: AtmosphereState) -> GridDiagnostics:
         """Synthesize all grid fields the physics and coupler need."""
         L = self.vg.nlev
@@ -239,33 +241,37 @@ class SpectralDynamicalCore:
         Robert-Asselin-filtered center state.
         """
         dt = self.dt
-        n_vort, n_div, n_temp, n_pi, diag = self._nonlinear_tendencies(curr)
+        with profile_section("nonlinear"):
+            n_vort, n_div, n_temp, n_pi, diag = self._nonlinear_tendencies(curr)
 
         new_vort = prev.vort + 2.0 * dt * n_vort
 
-        if self.semi_implicit:
-            new_div, new_temp, new_lnps = self._implicit_update(
-                prev, n_div, n_temp, n_pi)
-        else:
-            # Fully explicit update: linear terms evaluated at center time.
-            g_mat = self.vg.hydrostatic_matrix()
-            tau = self.vg.energy_conversion_matrix()
-            dsig = self.vg.dsigma
-            lin_d = np.tensordot(g_mat, curr.temp, axes=(1, 0)) \
-                + RD * self.vg.t_ref * curr.lnps[None]
-            new_div = prev.div + 2.0 * dt * (n_div - self._lap3(lin_d))
-            new_temp = prev.temp + 2.0 * dt * (
-                n_temp - np.tensordot(tau, curr.div, axes=(1, 0)))
-            new_lnps = prev.lnps + 2.0 * dt * (
-                n_pi - np.tensordot(dsig, curr.div, axes=(0, 0)))
+        with profile_section("implicit"):
+            if self.semi_implicit:
+                new_div, new_temp, new_lnps = self._implicit_update(
+                    prev, n_div, n_temp, n_pi)
+            else:
+                # Fully explicit update: linear terms evaluated at center time.
+                g_mat = self.vg.hydrostatic_matrix()
+                tau = self.vg.energy_conversion_matrix()
+                dsig = self.vg.dsigma
+                lin_d = np.tensordot(g_mat, curr.temp, axes=(1, 0)) \
+                    + RD * self.vg.t_ref * curr.lnps[None]
+                new_div = prev.div + 2.0 * dt * (n_div - self._lap3(lin_d))
+                new_temp = prev.temp + 2.0 * dt * (
+                    n_temp - np.tensordot(tau, curr.div, axes=(1, 0)))
+                new_lnps = prev.lnps + 2.0 * dt * (
+                    n_pi - np.tensordot(dsig, curr.div, axes=(0, 0)))
 
         # del^4 hyperdiffusion, applied implicitly to the new fields.
-        new_vort = self._hyperdiffuse(new_vort)
-        new_div = self._hyperdiffuse(new_div)
-        new_temp = self._hyperdiffuse(new_temp)
+        with profile_section("hyperdiffusion"):
+            new_vort = self._hyperdiffuse(new_vort)
+            new_div = self._hyperdiffuse(new_div)
+            new_temp = self._hyperdiffuse(new_temp)
 
         # Semi-Lagrangian moisture transport on the grid.
-        new_q = advect_semilagrangian(self.tr, diag.u, diag.v, prev.q, 2.0 * dt)
+        with profile_section("semilag"):
+            new_q = advect_semilagrangian(self.tr, diag.u, diag.v, prev.q, 2.0 * dt)
 
         # Robert-Asselin filter on the center state.
         filt = self.robert

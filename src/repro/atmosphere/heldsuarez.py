@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
-from repro.util.constants import KAPPA, P0
+from repro.util.constants import KAPPA
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,18 @@
 """CCM2/CCM3-lineage column physics for the FOAM atmosphere."""
 
+from repro.atmosphere.physics.boundary_layer import (
+    BoundaryLayerParams,
+    boundary_layer_tendencies,
+    diagnose_pbl_height,
+    solve_tridiagonal,
+)
+from repro.atmosphere.physics.convection import (
+    ConvectionParams,
+    compute_cape,
+    hack_shallow,
+    zhang_mcfarlane_deep,
+)
+from repro.atmosphere.physics.driver import PhysicsSuite, PhysicsTendencies, SurfaceState
 from repro.atmosphere.physics.radiation import (
     RadiationParams,
     diagnose_cloud_fraction,
@@ -8,22 +21,10 @@ from repro.atmosphere.physics.radiation import (
     shortwave,
     solar_zenith_cos,
 )
-from repro.atmosphere.physics.convection import (
-    ConvectionParams,
-    compute_cape,
-    hack_shallow,
-    zhang_mcfarlane_deep,
-)
 from repro.atmosphere.physics.stratiform import (
     StratiformParams,
     saturation_adjustment,
     stratiform_tendencies,
-)
-from repro.atmosphere.physics.boundary_layer import (
-    BoundaryLayerParams,
-    boundary_layer_tendencies,
-    diagnose_pbl_height,
-    solve_tridiagonal,
 )
 from repro.atmosphere.physics.surface_flux import (
     SurfaceFluxParams,
@@ -31,7 +32,6 @@ from repro.atmosphere.physics.surface_flux import (
     ocean_fluxes,
     ocean_roughness,
 )
-from repro.atmosphere.physics.driver import PhysicsSuite, PhysicsTendencies, SurfaceState
 
 __all__ = [
     "RadiationParams", "diagnose_cloud_fraction", "diurnal_mean_insolation",

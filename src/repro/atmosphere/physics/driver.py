@@ -37,6 +37,7 @@ from repro.atmosphere.physics.radiation import (
     solar_zenith_cos,
 )
 from repro.atmosphere.physics.stratiform import StratiformParams, stratiform_tendencies
+from repro.perf.profiler import profile_section
 from repro.util.constants import GRAVITY, SECONDS_PER_DAY
 
 
@@ -106,56 +107,62 @@ class PhysicsSuite:
 
         # ---- 1. radiation (cached between radiation steps) --------------
         if self.radiation_due(time):
-            day = (time / SECONDS_PER_DAY) % 365.0
-            secs = time % SECONDS_PER_DAY
-            cosz = solar_zenith_cos(lats, day, secs, lons)
-            sw_heat, sw_sfc, sw_toa_refl = shortwave(
-                temp, q, pressure, dp, cosz, surface.albedo, self.rad)
-            lw_heat, olr, lw_down, lw_net_sfc = longwave(
-                temp, q, dp, surface.t_sfc, self.rad)
-            self._cached_sw = (sw_heat, sw_sfc, sw_toa_refl)
-            self._cached_lw = (lw_heat, olr, lw_down, lw_net_sfc)
-            self._last_radiation_time = time
+            with profile_section("radiation"):
+                day = (time / SECONDS_PER_DAY) % 365.0
+                secs = time % SECONDS_PER_DAY
+                cosz = solar_zenith_cos(lats, day, secs, lons)
+                sw_heat, sw_sfc, sw_toa_refl = shortwave(
+                    temp, q, pressure, dp, cosz, surface.albedo, self.rad)
+                lw_heat, olr, lw_down, lw_net_sfc = longwave(
+                    temp, q, dp, surface.t_sfc, self.rad)
+                self._cached_sw = (sw_heat, sw_sfc, sw_toa_refl)
+                self._cached_lw = (lw_heat, olr, lw_down, lw_net_sfc)
+                self._last_radiation_time = time
         sw_heat, sw_sfc, sw_toa_refl = self._cached_sw
         lw_heat, olr, lw_down, lw_net_sfc = self._cached_lw
 
         # ---- 2. surface fluxes ------------------------------------------
-        if external_fluxes is None:
-            from repro.atmosphere.physics.surface_flux import bulk_fluxes, ocean_fluxes
-            land = bulk_fluxes(temp[-1], q[-1], u[-1], v[-1], ps,
-                               surface.t_sfc, surface.z0, surface.wetness)
-            ocean = ocean_fluxes(temp[-1], q[-1], u[-1], v[-1], ps, surface.t_sfc)
-            mask = surface.ocean_mask
-            fluxes = {k: np.where(mask, ocean[k], land[k]) for k in land}
-        else:
-            fluxes = external_fluxes
+        with profile_section("surface_fluxes"):
+            if external_fluxes is None:
+                from repro.atmosphere.physics.surface_flux import bulk_fluxes, ocean_fluxes
+                land = bulk_fluxes(temp[-1], q[-1], u[-1], v[-1], ps,
+                                   surface.t_sfc, surface.z0, surface.wetness)
+                ocean = ocean_fluxes(temp[-1], q[-1], u[-1], v[-1], ps, surface.t_sfc)
+                mask = surface.ocean_mask
+                fluxes = {k: np.where(mask, ocean[k], land[k]) for k in land}
+            else:
+                fluxes = external_fluxes
 
         # ---- 3. boundary layer ------------------------------------------
-        dtdt_pbl, dqdt_pbl, dudt_pbl, dvdt_pbl = boundary_layer_tendencies(
-            temp, q, u, v, pressure, z_full, dt,
-            ustar=fluxes["ustar"], shf=fluxes["shf"], lhf_evap=fluxes["evap"],
-            taux=-fluxes["taux"], tauy=-fluxes["tauy"], params=self.pbl)
+        with profile_section("boundary_layer"):
+            dtdt_pbl, dqdt_pbl, dudt_pbl, dvdt_pbl = boundary_layer_tendencies(
+                temp, q, u, v, pressure, z_full, dt,
+                ustar=fluxes["ustar"], shf=fluxes["shf"], lhf_evap=fluxes["evap"],
+                taux=-fluxes["taux"], tauy=-fluxes["tauy"], params=self.pbl)
 
-        t_work = temp + dt * (dtdt_pbl + sw_heat + lw_heat)
-        q_work = np.maximum(q + dt * dqdt_pbl, 0.0)
+            t_work = temp + dt * (dtdt_pbl + sw_heat + lw_heat)
+            q_work = np.maximum(q + dt * dqdt_pbl, 0.0)
 
         # ---- 4. deep convection ------------------------------------------
-        dtdt_zm, dqdt_zm, prec_zm = zhang_mcfarlane_deep(
-            t_work, q_work, pressure, dp, dt, self.conv)
-        t_work = t_work + dt * dtdt_zm
-        q_work = np.maximum(q_work + dt * dqdt_zm, 0.0)
+        with profile_section("deep_convection"):
+            dtdt_zm, dqdt_zm, prec_zm = zhang_mcfarlane_deep(
+                t_work, q_work, pressure, dp, dt, self.conv)
+            t_work = t_work + dt * dtdt_zm
+            q_work = np.maximum(q_work + dt * dqdt_zm, 0.0)
 
         # ---- 5. shallow convection ----------------------------------------
-        dtdt_hk, dqdt_hk, prec_hk = hack_shallow(
-            t_work, q_work, pressure, dp, geopotential, dt, self.conv)
-        t_work = t_work + dt * dtdt_hk
-        q_work = np.maximum(q_work + dt * dqdt_hk, 0.0)
+        with profile_section("shallow_convection"):
+            dtdt_hk, dqdt_hk, prec_hk = hack_shallow(
+                t_work, q_work, pressure, dp, geopotential, dt, self.conv)
+            t_work = t_work + dt * dtdt_hk
+            q_work = np.maximum(q_work + dt * dqdt_hk, 0.0)
 
         # ---- 6. stratiform -------------------------------------------------
-        dtdt_st, dqdt_st, prec_st = stratiform_tendencies(
-            t_work, q_work, pressure, dp, dt, self.strat)
-        t_work = t_work + dt * dtdt_st
-        q_work = np.maximum(q_work + dt * dqdt_st, 0.0)
+        with profile_section("stratiform"):
+            dtdt_st, dqdt_st, prec_st = stratiform_tendencies(
+                t_work, q_work, pressure, dp, dt, self.strat)
+            t_work = t_work + dt * dtdt_st
+            q_work = np.maximum(q_work + dt * dqdt_st, 0.0)
 
         total_dtdt = (t_work - temp) / dt
         total_dqdt = (q_work - q) / dt

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.constants import CP, EPSILON, GRAVITY, LATENT_HEAT_VAP, RV
+from repro.util.constants import CP, GRAVITY, LATENT_HEAT_VAP, RV
 from repro.util.thermo import saturation_mixing_ratio
 
 

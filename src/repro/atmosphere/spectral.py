@@ -28,6 +28,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.perf.profiler import profiled
 from repro.util.constants import EARTH_RADIUS
 
 
@@ -221,12 +222,14 @@ class SpectralTransform:
         full[..., : self.trunc.nm] = fm
         return np.fft.irfft(full * self.nlon, n=self.nlon, axis=-1)
 
+    @profiled("spectral.analyze")
     def analyze(self, grid: np.ndarray) -> np.ndarray:
         """Grid (nlat, nlon) -> spectral coefficients (nm, nk), complex."""
         fm = self._fourier(grid)
         spec = np.einsum("jm,jmk->mk", fm, self._wp)
         return spec * self._mask
 
+    @profiled("spectral.synthesize")
     def synthesize(self, spec: np.ndarray) -> np.ndarray:
         """Spectral (nm, nk) -> grid (nlat, nlon), real."""
         fm = np.einsum("mk,jmk->jm", spec * self._mask, self.pbar)
@@ -250,6 +253,7 @@ class SpectralTransform:
     # ------------------------------------------------------------------
     # wind <-> vorticity/divergence (Bourke form)
     # ------------------------------------------------------------------
+    @profiled("spectral.uv_from_vortdiv")
     def uv_from_vortdiv(self, vort_spec: np.ndarray, div_spec: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:
         """Grid winds (u, v) from spectral relative vorticity and divergence.
@@ -269,6 +273,7 @@ class SpectralTransform:
         cos = self.coslat[:, None]
         return big_u / cos, big_v / cos
 
+    @profiled("spectral.vortdiv_from_uv")
     def vortdiv_from_uv(self, u: np.ndarray, v: np.ndarray
                         ) -> tuple[np.ndarray, np.ndarray]:
         """Spectral (zeta, D) from grid winds by integration by parts.

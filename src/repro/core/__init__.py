@@ -2,7 +2,7 @@
 
 from repro.core.config import FoamConfig, paper_config, small_config, test_config
 from repro.core.foam import CoupledDiagnostics, FoamModel, FoamState
-from repro.core.history import HistoryWriter, load_history, save_restart, load_restart
+from repro.core.history import HistoryWriter, load_history, load_restart, save_restart
 
 __all__ = [
     "FoamConfig", "paper_config", "small_config", "test_config",

@@ -68,8 +68,6 @@ def meridional_heat_transport(heat_flux_into_ocean: np.ndarray,
 
 def toa_energy_balance(fluxes: dict, weights: np.ndarray) -> dict:
     """Global TOA budget from a physics flux dict (area weights sum to 1)."""
-    from repro.util.constants import SOLAR_CONSTANT
-
     olr = float(np.sum(fluxes["olr"] * weights))
     reflected = float(np.sum(fluxes["sw_toa_reflected"] * weights))
     return {"olr": olr, "sw_reflected": reflected}

@@ -30,10 +30,11 @@ from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
 from repro.atmosphere.physics import PhysicsSuite
 from repro.atmosphere.spectral import SpectralTransform, Truncation
 from repro.atmosphere.vertical import VerticalGrid
-from repro.coupler.coupler import CouplerState, FluxCoupler
 from repro.core.config import FoamConfig, test_config
+from repro.coupler.coupler import CouplerState, FluxCoupler
 from repro.ocean.grid import OceanGrid, world_topography
 from repro.ocean.model import OceanForcing, OceanModel, OceanState
+from repro.perf.profiler import profile_section
 from repro.util.constants import STEFAN_BOLTZMANN
 
 
@@ -123,37 +124,48 @@ class FoamModel:
 
     # ------------------------------------------------------------------
     def coupled_step(self, state: FoamState) -> FoamState:
-        """One atmosphere step of the coupled system (30 simulated minutes)."""
+        """One atmosphere step of the coupled system (30 simulated minutes).
+
+        Profiler sections follow the event-simulator's decomposition
+        (``calibrate_from_profile`` depends on these names): top-level
+        ``atmosphere`` / ``coupler`` / ``ocean``, with ``dynamics`` under
+        ``atmosphere`` entered exactly once per coupled step.
+        """
         cfg = self.config
         dt = cfg.atm_dt
         tr = self.transform
         curr = state.atm_curr
-        diag = self.dycore.diagnose(curr)
+        with profile_section("atmosphere"):
+            diag = self.dycore.diagnose(curr)
         sst = self.ocean.sst(state.ocean)
 
         # --- coupler: surface state and turbulent fluxes (overlap grid) ---
-        surface = self.coupler.surface_state_for_atm(state.coupler, sst)
-        turb = self.coupler.turbulent_fluxes(
-            state.coupler, t_air=diag.temp[-1], q_air=curr.q[-1],
-            u_air=diag.u[-1], v_air=diag.v[-1], ps=diag.ps,
-            sst_celsius=sst)
+        with profile_section("coupler"):
+            surface = self.coupler.surface_state_for_atm(state.coupler, sst)
+            turb = self.coupler.turbulent_fluxes(
+                state.coupler, t_air=diag.temp[-1], q_air=curr.q[-1],
+                u_air=diag.u[-1], v_air=diag.v[-1], ps=diag.ps,
+                sst_celsius=sst)
 
         # --- atmosphere physics with coupler-owned surface fluxes ----------
-        phys = self.physics.compute(
-            temp=diag.temp, q=curr.q, u=diag.u, v=diag.v,
-            pressure=diag.pressure, ps=diag.ps,
-            geopotential=diag.geopotential, dsigma=self.vgrid.dsigma,
-            surface=surface, dt=dt, time=state.time,
-            lats=tr.lats, lons=tr.lons, external_fluxes=turb["atm"])
+        with profile_section("atmosphere"):
+            with profile_section("physics"):
+                phys = self.physics.compute(
+                    temp=diag.temp, q=curr.q, u=diag.u, v=diag.v,
+                    pressure=diag.pressure, ps=diag.ps,
+                    geopotential=diag.geopotential, dsigma=self.vgrid.dsigma,
+                    surface=surface, dt=dt, time=state.time,
+                    lats=tr.lats, lons=tr.lons, external_fluxes=turb["atm"])
 
-        # Apply physics adjustments to the spectral state (process split).
-        new_curr = curr.copy()
-        for l in range(self.vgrid.nlev):
-            new_curr.temp[l] += dt * tr.analyze(phys.dtdt[l])
-            dv, dd = tr.vortdiv_from_uv(phys.dudt[l], phys.dvdt[l])
-            new_curr.vort[l] += dt * dv
-            new_curr.div[l] += dt * dd
-        new_curr.q = np.maximum(curr.q + dt * phys.dqdt, 0.0)
+            # Apply physics adjustments to the spectral state (process split).
+            with profile_section("spectral_update"):
+                new_curr = curr.copy()
+                for l in range(self.vgrid.nlev):
+                    new_curr.temp[l] += dt * tr.analyze(phys.dtdt[l])
+                    dv, dd = tr.vortdiv_from_uv(phys.dudt[l], phys.dvdt[l])
+                    new_curr.vort[l] += dt * dv
+                    new_curr.div[l] += dt * dd
+                new_curr.q = np.maximum(curr.q + dt * phys.dqdt, 0.0)
 
         precip = phys.precip_conv + phys.precip_strat
 
@@ -162,27 +174,30 @@ class FoamModel:
         net_sfc = (phys.fluxes["sw_sfc"] + phys.fluxes["lw_down"]
                    - STEFAN_BOLTZMANN * t_sfc_atm**4
                    - phys.fluxes["shf"] - phys.fluxes["lhf"])
-        new_cpl, discharge_atm, cpl_diags = self.coupler.step_land_and_rivers(
-            state.coupler, precip=precip, evap=phys.fluxes["evap"],
-            t_low1=diag.temp[-1], t_low2=diag.temp[-2],
-            net_land_flux=net_sfc, dt=dt)
+        with profile_section("coupler"):
+            with profile_section("land_rivers"):
+                new_cpl, discharge_atm, cpl_diags = self.coupler.step_land_and_rivers(
+                    state.coupler, precip=precip, evap=phys.fluxes["evap"],
+                    t_low1=diag.temp[-1], t_low2=diag.temp[-2],
+                    net_land_flux=net_sfc, dt=dt)
 
-        # --- accumulate ocean forcing ---------------------------------------
-        ov = self.coupler.overlap
-        rad_ocn = self.coupler.surface_radiation_to_ocean(
-            sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
-            t_sfc=t_sfc_atm)
-        heat_ocn = rad_ocn - turb["ocn_turb_heat_loss"]
-        precip_ocn = ov.to_ocn(np.where(self.coupler._water_overlap,
-                                        ov.from_atm(precip), 0.0))
-        discharge_ocn = self.coupler.discharge_to_ocean_grid(discharge_atm)
-        fresh = precip_ocn - turb["ocn_evap"] + discharge_ocn
+            # --- accumulate ocean forcing -----------------------------------
+            with profile_section("regrid_merge"):
+                ov = self.coupler.overlap
+                rad_ocn = self.coupler.surface_radiation_to_ocean(
+                    sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
+                    t_sfc=t_sfc_atm)
+                heat_ocn = rad_ocn - turb["ocn_turb_heat_loss"]
+                precip_ocn = ov.to_ocn(np.where(self.coupler._water_overlap,
+                                                ov.from_atm(precip), 0.0))
+                discharge_ocn = self.coupler.discharge_to_ocean_grid(discharge_atm)
+                fresh = precip_ocn - turb["ocn_evap"] + discharge_ocn
 
-        self._acc.taux += turb["ocn_taux"]
-        self._acc.tauy += turb["ocn_tauy"]
-        self._acc.heat_flux += heat_ocn
-        self._acc.freshwater += fresh
-        self._acc_steps += 1
+                self._acc.taux += turb["ocn_taux"]
+                self._acc.tauy += turb["ocn_tauy"]
+                self._acc.heat_flux += heat_ocn
+                self._acc.freshwater += fresh
+                self._acc_steps += 1
 
         new_ocean = state.ocean
         new_time = state.time + dt
@@ -196,17 +211,22 @@ class FoamModel:
             # Sea ice first: it converts persistent heat loss at the clamp
             # into ice and shields the stress.
             t_air_ocn = ov.to_ocn(ov.from_atm(diag.temp[-1]))
-            new_cpl, ice_fw = self.coupler.step_sea_ice(
-                new_cpl, sst_celsius=sst,
-                ocean_heat_loss=-forcing.heat_flux,
-                t_air_on_ocn=t_air_ocn,
-                dt=cfg.ocean_coupling_interval)
+            with profile_section("coupler"):
+                with profile_section("seaice"):
+                    new_cpl, ice_fw = self.coupler.step_sea_ice(
+                        new_cpl, sst_celsius=sst,
+                        ocean_heat_loss=-forcing.heat_flux,
+                        t_air_on_ocn=t_air_ocn,
+                        dt=cfg.ocean_coupling_interval)
             forcing.freshwater += ice_fw
-            new_ocean = self.ocean.step(state.ocean, forcing)
+            with profile_section("ocean"):
+                new_ocean = self.ocean.step(state.ocean, forcing)
             self._reset_ocean_accumulator()
 
         # --- atmosphere dynamics step ----------------------------------------
-        new_prev, new_next = self.dycore.step(state.atm_prev, new_curr)
+        with profile_section("atmosphere"):
+            with profile_section("dynamics"):
+                new_prev, new_next = self.dycore.step(state.atm_prev, new_curr)
         return FoamState(atm_prev=new_prev, atm_curr=new_next,
                          ocean=new_ocean, coupler=new_cpl, time=new_time)
 

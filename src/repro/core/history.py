@@ -14,11 +14,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.atmosphere.dynamics import AtmosphereState
+from repro.core.foam import FoamState
 from repro.coupler.coupler import CouplerState
 from repro.coupler.hydrology import HydrologyState
 from repro.coupler.land import LandState
 from repro.coupler.seaice import SeaIceState
-from repro.core.foam import FoamState
 from repro.ocean.model import OceanState
 
 

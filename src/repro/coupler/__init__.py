@@ -6,14 +6,11 @@ air-sea interface, and closing the hydrological cycle through a parallel
 river model.
 """
 
-from repro.coupler.overlap import OverlapGrid, cell_edges_from_centers, lon_edges_uniform
-from repro.coupler.land import (
-    LandModel,
-    LandState,
-    N_SOIL_LAYERS,
-    N_SOIL_TYPES,
-    SOIL_TYPES,
-    soil_types_from_latitude,
+from repro.coupler.coupler import (
+    OCEAN_ALBEDO,
+    CouplerDiagnostics,
+    CouplerState,
+    FluxCoupler,
 )
 from repro.coupler.hydrology import (
     HydrologyState,
@@ -22,6 +19,15 @@ from repro.coupler.hydrology import (
     step_hydrology,
     wetness_factor,
 )
+from repro.coupler.land import (
+    N_SOIL_LAYERS,
+    N_SOIL_TYPES,
+    SOIL_TYPES,
+    LandModel,
+    LandState,
+    soil_types_from_latitude,
+)
+from repro.coupler.overlap import OverlapGrid, cell_edges_from_centers, lon_edges_uniform
 from repro.coupler.river import (
     NEIGHBORS,
     RiverModel,
@@ -29,12 +35,6 @@ from repro.coupler.river import (
     distance_to_ocean,
 )
 from repro.coupler.seaice import SeaIceModel, SeaIceState
-from repro.coupler.coupler import (
-    CouplerDiagnostics,
-    CouplerState,
-    FluxCoupler,
-    OCEAN_ALBEDO,
-)
 
 __all__ = [
     "OverlapGrid", "cell_edges_from_centers", "lon_edges_uniform",

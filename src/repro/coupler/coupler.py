@@ -24,16 +24,16 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.atmosphere.physics.driver import SurfaceState
 from repro.atmosphere.physics.surface_flux import (
     SurfaceFluxParams,
     bulk_fluxes,
     ocean_fluxes,
 )
-from repro.atmosphere.physics.driver import SurfaceState
 from repro.coupler.hydrology import HydrologyState, step_hydrology, wetness_factor
 from repro.coupler.land import LandModel, LandState, soil_types_from_latitude
 from repro.coupler.overlap import OverlapGrid
@@ -44,10 +44,10 @@ from repro.coupler.seaice import (
     SeaIceModel,
     SeaIceState,
 )
+from repro.perf.profiler import profiled
 from repro.util.constants import (
     EARTH_RADIUS,
     STEFAN_BOLTZMANN,
-    T_FREEZE,
 )
 
 OCEAN_ALBEDO = 0.07
@@ -121,6 +121,7 @@ class FluxCoupler:
             river_volume=np.zeros((self.atm_nlat, self.atm_nlon)))
 
     # ------------------------------------------------------------------
+    @profiled("merge_surface")
     def surface_state_for_atm(self, state: CouplerState,
                               sst_celsius: np.ndarray) -> SurfaceState:
         """Blend ocean/ice/land surface properties onto the atmosphere grid.
@@ -160,6 +161,7 @@ class FluxCoupler:
                             z0=z0, ocean_mask=~self.atm_land_mask)
 
     # ------------------------------------------------------------------
+    @profiled("fluxes")
     def turbulent_fluxes(self, state: CouplerState, *, t_air: np.ndarray,
                          q_air: np.ndarray, u_air: np.ndarray,
                          v_air: np.ndarray, ps: np.ndarray,

@@ -8,18 +8,21 @@ and multi-rate subcycling — claimed to make it "the most computationally
 efficient ocean model in existence".
 """
 
+from repro.ocean.barotropic import BarotropicParams, BarotropicSolver
+from repro.ocean.baseline import ConventionalOceanModel
+from repro.ocean.eos import (
+    buoyancy_frequency_sq,
+    density,
+    density_anomaly,
+    thermal_expansion,
+)
+from repro.ocean.filters import apply_polar_filter, polar_filter_factors
 from repro.ocean.grid import (
     OceanGrid,
     aquaplanet_topography,
     mercator_latitudes,
     stretched_depths,
     world_topography,
-)
-from repro.ocean.eos import (
-    buoyancy_frequency_sq,
-    density,
-    density_anomaly,
-    thermal_expansion,
 )
 from repro.ocean.mixing import (
     PPMixingParams,
@@ -28,10 +31,7 @@ from repro.ocean.mixing import (
     pp_viscosity,
     richardson_number,
 )
-from repro.ocean.barotropic import BarotropicParams, BarotropicSolver
-from repro.ocean.filters import apply_polar_filter, polar_filter_factors
 from repro.ocean.model import OceanForcing, OceanModel, OceanParams, OceanState
-from repro.ocean.baseline import ConventionalOceanModel
 
 __all__ = [
     "OceanGrid", "aquaplanet_topography", "mercator_latitudes",

@@ -19,7 +19,6 @@ import numpy as np
 from repro.ocean.barotropic import BarotropicParams
 from repro.ocean.grid import OceanGrid
 from repro.ocean.model import OceanForcing, OceanModel, OceanParams, OceanState
-from repro.util.constants import GRAVITY
 
 
 class ConventionalOceanModel(OceanModel):

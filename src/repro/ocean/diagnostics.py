@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ocean.grid import OceanGrid
 from repro.ocean.model import OceanModel, OceanState
 
 SVERDRUP = 1.0e6   # m^3/s

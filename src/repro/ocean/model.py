@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ocean.barotropic import BarotropicParams, BarotropicSolver
-from repro.ocean.eos import density_anomaly
+from repro.ocean.eos import buoyancy_frequency_sq, density_anomaly
 from repro.ocean.filters import apply_polar_filter
 from repro.ocean.grid import OceanGrid, world_topography
 from repro.ocean.mixing import (
@@ -44,13 +44,13 @@ from repro.ocean.operators import (
     ddy,
     flux_divergence,
 )
+from repro.perf.profiler import profile_section
 from repro.util.constants import (
     CP_SEAWATER,
     GRAVITY,
     RHO_SEAWATER,
     T_FREEZE_SEA,
 )
-from repro.ocean.eos import buoyancy_frequency_sq
 
 
 @dataclass
@@ -284,9 +284,10 @@ class OceanModel:
             self.op_count += self._ops_per_step()  # second evaluation
         else:
             out, gxy = self._advance(state, forcing)
-        out.eta, out.ubar, out.vbar, _ = self.baro.step(
-            state.eta, state.ubar, state.vbar, gxy[0], gxy[1],
-            self.params.dt_long)
+        with profile_section("barotropic"):
+            out.eta, out.ubar, out.vbar, _ = self.baro.step(
+                state.eta, state.ubar, state.vbar, gxy[0], gxy[1],
+                self.params.dt_long)
         g = self.grid
         for name in ("eta", "ubar", "vbar"):
             setattr(out, name, apply_polar_filter(
@@ -309,40 +310,42 @@ class OceanModel:
         dt_int = dt_long / p.n_internal
 
         # ---- slow terms, once per long step -----------------------------
-        u_tot, v_tot = self.total_velocity(s)
+        with profile_section("advection"):
+            u_tot, v_tot = self.total_velocity(s)
 
-        s.temp = s.temp + dt_long * self.advect_tracer_horizontal(s.temp, u_tot, v_tot)
-        s.salt = s.salt + dt_long * self.advect_tracer_horizontal(s.salt, u_tot, v_tot)
-        s.u = s.u + dt_long * advect_centered(s.u, u_tot, v_tot, g.dx, g.dy,
-                                              self.mask3d)
-        s.v = s.v + dt_long * advect_centered(s.v, u_tot, v_tot, g.dx, g.dy,
-                                              self.mask3d)
+            s.temp = s.temp + dt_long * self.advect_tracer_horizontal(s.temp, u_tot, v_tot)
+            s.salt = s.salt + dt_long * self.advect_tracer_horizontal(s.salt, u_tot, v_tot)
+            s.u = s.u + dt_long * advect_centered(s.u, u_tot, v_tot, g.dx, g.dy,
+                                                  self.mask3d)
+            s.v = s.v + dt_long * advect_centered(s.v, u_tot, v_tot, g.dx, g.dy,
+                                                  self.mask3d)
 
-        # del^4 dissipation (A-grid mode control) on all prognostic fields,
-        # plus harmonic eddy viscosity on momentum.
-        from repro.ocean.operators import laplacian
-        for f3 in (s.u, s.v, s.temp, s.salt):
-            f3 -= dt_long * self.a4 * biharmonic(f3, g.dx, g.dy, self.mask3d)
-        for f3 in (s.u, s.v):
-            f3 += dt_long * self.a2 * laplacian(f3, g.dx, g.dy, self.mask3d)
+            # del^4 dissipation (A-grid mode control) on all prognostic fields,
+            # plus harmonic eddy viscosity on momentum.
+            from repro.ocean.operators import laplacian
+            for f3 in (s.u, s.v, s.temp, s.salt):
+                f3 -= dt_long * self.a4 * biharmonic(f3, g.dx, g.dy, self.mask3d)
+            for f3 in (s.u, s.v):
+                f3 += dt_long * self.a2 * laplacian(f3, g.dx, g.dy, self.mask3d)
 
         # Vertical mixing (PP81 steepened) + surface fluxes, implicit.
-        n_sq = buoyancy_frequency_sq(s.temp, s.salt, g.z_full)
-        ri = richardson_number(s.u, s.v, n_sq, g.z_full)
-        nu, kappa = pp_viscosity(ri, p.mixing)
-        heat_in = forcing.heat_flux / (RHO_SEAWATER * CP_SEAWATER)   # K m/s
-        # Virtual salt flux: fresh water dilutes surface salinity.
-        salt_in = -forcing.freshwater * p.reference_salinity / RHO_SEAWATER
-        s.temp = mix_column_implicit(s.temp, kappa, g.dz, dt_long, heat_in,
-                                     mask=self.mask3d)
-        s.salt = mix_column_implicit(s.salt, kappa, g.dz, dt_long, salt_in,
-                                     mask=self.mask3d)
-        s.u = mix_column_implicit(s.u, nu, g.dz, dt_long,
-                                  forcing.taux / RHO_SEAWATER, mask=self.mask3d)
-        s.v = mix_column_implicit(s.v, nu, g.dz, dt_long,
-                                  forcing.tauy / RHO_SEAWATER, mask=self.mask3d)
-        s.temp, s.salt = convective_adjustment(s.temp, s.salt, g.z_full, g.dz,
-                                               mask=self.mask3d)
+        with profile_section("mixing"):
+            n_sq = buoyancy_frequency_sq(s.temp, s.salt, g.z_full)
+            ri = richardson_number(s.u, s.v, n_sq, g.z_full)
+            nu, kappa = pp_viscosity(ri, p.mixing)
+            heat_in = forcing.heat_flux / (RHO_SEAWATER * CP_SEAWATER)   # K m/s
+            # Virtual salt flux: fresh water dilutes surface salinity.
+            salt_in = -forcing.freshwater * p.reference_salinity / RHO_SEAWATER
+            s.temp = mix_column_implicit(s.temp, kappa, g.dz, dt_long, heat_in,
+                                         mask=self.mask3d)
+            s.salt = mix_column_implicit(s.salt, kappa, g.dz, dt_long, salt_in,
+                                         mask=self.mask3d)
+            s.u = mix_column_implicit(s.u, nu, g.dz, dt_long,
+                                      forcing.taux / RHO_SEAWATER, mask=self.mask3d)
+            s.v = mix_column_implicit(s.v, nu, g.dz, dt_long,
+                                      forcing.tauy / RHO_SEAWATER, mask=self.mask3d)
+            s.temp, s.salt = convective_adjustment(s.temp, s.salt, g.z_full, g.dz,
+                                                   mask=self.mask3d)
 
         # The paper's sea-surface clamp at -1.92 C (ice formation handles the rest).
         s.temp[0] = np.where(self.mask2d, np.maximum(s.temp[0], p.sst_clamp), 0.0)
@@ -359,21 +362,22 @@ class OceanModel:
         gy_acc = np.zeros((g.ny, g.nx))
         cosf = np.cos(g.f * dt_int)[None]
         sinf = np.sin(g.f * dt_int)[None]
-        for _ in range(p.n_internal):
-            w_top = self.vertical_velocity(s.u, s.v)
-            s.temp = s.temp + dt_int * self.advect_tracer_vertical(s.temp, w_top)
-            s.salt = s.salt + dt_int * self.advect_tracer_vertical(s.salt, w_top)
-            pgx, pgy = self.baroclinic_pressure_gradient(s.temp, s.salt)
-            # Exact Coriolis rotation of the baroclinic shear.
-            u_rot = s.u * cosf + s.v * sinf
-            v_rot = -s.u * sinf + s.v * cosf
-            s.u = u_rot + dt_int * pgx
-            s.v = v_rot + dt_int * pgy
-            # Project out the depth mean; it belongs to the barotropic mode.
-            s.u, gu = self.remove_depth_mean(s.u)
-            s.v, gv = self.remove_depth_mean(s.v)
-            gx_acc += gu / dt_int
-            gy_acc += gv / dt_int
+        with profile_section("baroclinic"):
+            for _ in range(p.n_internal):
+                w_top = self.vertical_velocity(s.u, s.v)
+                s.temp = s.temp + dt_int * self.advect_tracer_vertical(s.temp, w_top)
+                s.salt = s.salt + dt_int * self.advect_tracer_vertical(s.salt, w_top)
+                pgx, pgy = self.baroclinic_pressure_gradient(s.temp, s.salt)
+                # Exact Coriolis rotation of the baroclinic shear.
+                u_rot = s.u * cosf + s.v * sinf
+                v_rot = -s.u * sinf + s.v * cosf
+                s.u = u_rot + dt_int * pgx
+                s.v = v_rot + dt_int * pgy
+                # Project out the depth mean; it belongs to the barotropic mode.
+                s.u, gu = self.remove_depth_mean(s.u)
+                s.v, gv = self.remove_depth_mean(s.v)
+                gx_acc += gu / dt_int
+                gy_acc += gv / dt_int
 
         # Time-mean depth-averaged acceleration over the long step, plus the
         # depth-mean wind stress: this is what drives the 2-D subsystem.

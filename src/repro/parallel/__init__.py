@@ -7,6 +7,8 @@ real NumPy arrays through :class:`SimComm`, on which the decompositions and
 distributed transposes of the component models are built.
 """
 
+from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
+from repro.parallel.faults import FaultPlan, corrupt_payload
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -19,10 +21,8 @@ from repro.parallel.simmpi import (
     SimComm,
     run_ranks,
 )
-from repro.parallel.faults import FaultPlan, corrupt_payload
-from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
-from repro.parallel.transpose import transpose_backward, transpose_forward
 from repro.parallel.trace import ACTIVITIES, RankTrace, Segment, TraceSet
+from repro.parallel.transpose import transpose_backward, transpose_forward
 
 __all__ = [
     "ANY_SOURCE",

@@ -104,8 +104,10 @@ class BlockDecomp1D:
             comm.send(local[-1], dest=north, tag=_TAG_HALO_N)
         if south is not None:
             comm.send(local[0], dest=south, tag=_TAG_HALO_S)
-        south_ghost = comm.recv(source=south, tag=_TAG_HALO_N) if south is not None else local[0].copy()
-        north_ghost = comm.recv(source=north, tag=_TAG_HALO_S) if north is not None else local[-1].copy()
+        south_ghost = (comm.recv(source=south, tag=_TAG_HALO_N)
+                       if south is not None else local[0].copy())
+        north_ghost = (comm.recv(source=north, tag=_TAG_HALO_S)
+                       if north is not None else local[-1].copy())
         return south_ghost, north_ghost
 
 
@@ -203,8 +205,10 @@ class BlockDecomp2D:
             comm.send(local[-1], dest=north, tag=_TAG_HALO_N)
         if south is not None:
             comm.send(local[0], dest=south, tag=_TAG_HALO_S)
-        padded[0, 1:-1] = comm.recv(source=south, tag=_TAG_HALO_N) if south is not None else local[0]
-        padded[-1, 1:-1] = comm.recv(source=north, tag=_TAG_HALO_S) if north is not None else local[-1]
+        padded[0, 1:-1] = (comm.recv(source=south, tag=_TAG_HALO_N)
+                           if south is not None else local[0])
+        padded[-1, 1:-1] = (comm.recv(source=north, tag=_TAG_HALO_S)
+                            if north is not None else local[-1])
 
         # Corner closure by replication.
         padded[0, 0] = padded[0, 1]

@@ -59,7 +59,7 @@ formula — simulated timing driven by *measured* message traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.parallel.decomp import block_bounds
 from repro.parallel.simmpi import SimComm
+from repro.perf.profiler import profile_section
 
 
 def transpose_forward(comm: SimComm, local_rows: np.ndarray, nrows: int, ncols: int) -> np.ndarray:
@@ -43,13 +44,17 @@ def transpose_forward(comm: SimComm, local_rows: np.ndarray, nrows: int, ncols: 
     if local_rows.ndim != 2 or local_rows.shape != (rhi - rlo, ncols):
         raise ValueError(
             f"local_rows must be ({rhi - rlo}, {ncols}), got {local_rows.shape}")
-    sendblocks = []
-    for dest in range(comm.size):
-        clo, chi = block_bounds(ncols, comm.size, dest)
-        sendblocks.append(np.ascontiguousarray(local_rows[:, clo:chi]))
-    recvblocks = comm.alltoall(sendblocks, op="transpose.forward")
-    # recvblocks[src] holds src's rows of *our* columns; stack by row block.
-    return np.concatenate(recvblocks, axis=0)
+    with profile_section("transpose.forward") as sec:
+        bytes_before = comm.stats.bytes_sent
+        sendblocks = []
+        for dest in range(comm.size):
+            clo, chi = block_bounds(ncols, comm.size, dest)
+            sendblocks.append(np.ascontiguousarray(local_rows[:, clo:chi]))
+        recvblocks = comm.alltoall(sendblocks, op="transpose.forward")
+        if sec is not None:
+            sec.count("comm_bytes", comm.stats.bytes_sent - bytes_before)
+        # recvblocks[src] holds src's rows of *our* columns; stack by row block.
+        return np.concatenate(recvblocks, axis=0)
 
 
 def transpose_backward(comm: SimComm, local_cols: np.ndarray, nrows: int, ncols: int) -> np.ndarray:
@@ -58,9 +63,13 @@ def transpose_backward(comm: SimComm, local_cols: np.ndarray, nrows: int, ncols:
     if local_cols.ndim != 2 or local_cols.shape != (nrows, chi - clo):
         raise ValueError(
             f"local_cols must be ({nrows}, {chi - clo}), got {local_cols.shape}")
-    sendblocks = []
-    for dest in range(comm.size):
-        rlo, rhi = block_bounds(nrows, comm.size, dest)
-        sendblocks.append(np.ascontiguousarray(local_cols[rlo:rhi, :]))
-    recvblocks = comm.alltoall(sendblocks, op="transpose.backward")
-    return np.concatenate(recvblocks, axis=1)
+    with profile_section("transpose.backward") as sec:
+        bytes_before = comm.stats.bytes_sent
+        sendblocks = []
+        for dest in range(comm.size):
+            rlo, rhi = block_bounds(nrows, comm.size, dest)
+            sendblocks.append(np.ascontiguousarray(local_cols[rlo:rhi, :]))
+        recvblocks = comm.alltoall(sendblocks, op="transpose.backward")
+        if sec is not None:
+            sec.count("comm_bytes", comm.stats.bytes_sent - bytes_before)
+        return np.concatenate(recvblocks, axis=1)

@@ -172,3 +172,88 @@ def atmosphere_ocean_cost_ratio(atm: AtmosphereCost | None = None,
     atm = atm or AtmosphereCost()
     ocn = ocn or OceanCost()
     return atm.day_ops() / ocn.day_ops()
+
+
+# ---------------------------------------------------------------------------
+# Measured-cost calibration: profiler wall clock -> event-simulator inputs.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasuredCosts:
+    """Per-section wall-clock costs measured by :mod:`repro.perf.profiler`.
+
+    The measured counterpart of the analytic (:class:`AtmosphereCost`,
+    :class:`OceanCost`, :class:`CouplerCost`) op counts: one serial-run
+    second figure per simulator section, which
+    :func:`repro.perf.eventsim.simulate_coupled_day` divides across ranks
+    exactly the way it divides op counts.  This extends the PR-1
+    ``transpose_bytes_from_stats`` pattern (measured traffic replacing an
+    analytic formula) from communication volume to compute cost.
+    """
+
+    step_seconds: float              # ordinary atmosphere step, all ranks' work
+    radiation_step_seconds: float    # atmosphere step that recomputes radiation
+    coupler_seconds: float           # coupler work per atmosphere step
+    ocean_call_seconds: float        # one long (coupling-interval) ocean call
+    transpose_seconds: float = 0.0   # forward+backward spectral transpose/step
+    source: str = "profile"
+
+    def __post_init__(self):
+        for name in ("step_seconds", "radiation_step_seconds",
+                     "coupler_seconds", "ocean_call_seconds"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive, got "
+                                 f"{getattr(self, name)}")
+
+
+def calibrate_from_profile(profile) -> MeasuredCosts:
+    """Derive :class:`MeasuredCosts` from a measured :class:`RunProfile`.
+
+    ``profile`` must come from a coupled run instrumented by
+    :mod:`repro.perf.profiler` (e.g. ``repro.perf.report.profile_coupled_run``)
+    covering at least one ocean call and one radiation step; section
+    conventions are the ones ``FoamModel.coupled_step`` establishes
+    (top-level ``atmosphere`` / ``coupler`` / ``ocean``, with
+    ``radiation`` nested somewhere under ``atmosphere``).
+
+    Transpose cost is taken from ``transpose.forward``/``transpose.backward``
+    sections when the profiled run exercised the distributed transpose;
+    otherwise it is left at zero and the simulator falls back to charging
+    the (measured or analytic) byte volume on its machine model.
+    """
+    n_steps = profile.total_calls("atmosphere/dynamics")
+    if n_steps == 0:
+        raise ValueError(
+            "profile has no 'atmosphere/dynamics' sections — was the run "
+            "executed with profiling enabled through FoamModel.coupled_step?")
+    atm_seconds = profile.total_inclusive("atmosphere")
+    rad_seconds = profile.total_inclusive("radiation")
+    n_rad = profile.total_calls("radiation")
+    if n_rad == 0:
+        raise ValueError(
+            "profile contains no radiation step; profile at least one "
+            "radiation interval so radiation cost can be separated")
+    step_seconds = (atm_seconds - rad_seconds) / n_steps
+    radiation_step_seconds = step_seconds + rad_seconds / n_rad
+
+    coupler_seconds = profile.total_inclusive("coupler") / n_steps
+
+    n_ocean = profile.total_calls("ocean")
+    if n_ocean == 0:
+        raise ValueError(
+            "profile contains no ocean call; profile at least one coupling "
+            "interval (ocean_coupling_interval of simulated time)")
+    ocean_call_seconds = profile.total_inclusive("ocean") / n_ocean
+
+    transpose_seconds = 0.0
+    for label in ("transpose.forward", "transpose.backward"):
+        calls = profile.total_calls(label)
+        if calls:
+            transpose_seconds += profile.total_inclusive(label) / calls
+
+    return MeasuredCosts(
+        step_seconds=step_seconds,
+        radiation_step_seconds=radiation_step_seconds,
+        coupler_seconds=coupler_seconds,
+        ocean_call_seconds=ocean_call_seconds,
+        transpose_seconds=transpose_seconds,
+        source=profile.label or "profile")

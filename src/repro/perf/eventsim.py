@@ -32,6 +32,7 @@ from repro.parallel.trace import RankTrace, TraceSet
 from repro.perf.costmodel import (
     AtmosphereCost,
     CouplerCost,
+    MeasuredCosts,
     OceanCost,
     transpose_bytes_from_stats,
 )
@@ -47,6 +48,9 @@ class SimulationResult:
     simulated_seconds: float
     n_atm_ranks: int
     n_ocn_ranks: int
+    # Resolved per-section costs the run was driven by (analytic or measured):
+    # step/radiation-step/coupler/transpose/ocean-call seconds, single rank.
+    per_step_costs: dict | None = None
 
     @property
     def speedup(self) -> float:
@@ -82,7 +86,8 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
                          cpl: CouplerCost | None = None,
                          imbalance: float = 0.10,
                          seed: int = 0,
-                         transpose_comm=None) -> SimulationResult:
+                         transpose_comm=None,
+                         measured: MeasuredCosts | None = None) -> SimulationResult:
     """Simulate one coupled simulated day; returns traces + throughput.
 
     ``transpose_comm`` optionally supplies measured per-rank
@@ -91,6 +96,15 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     per-step transpose cost is then charged from the *measured* byte volume
     instead of the analytic ``AtmosphereCost.transpose_bytes()`` formula,
     and the stats are attached to the returned ``TraceSet.comm``.
+
+    ``measured`` optionally supplies wall-clock section costs from a real
+    profiled run (:func:`repro.perf.costmodel.calibrate_from_profile`); the
+    atmosphere-step, radiation-step, coupler, and ocean-call costs are then
+    the *measured* seconds (divided across ranks exactly as op counts would
+    be) instead of machine-model analytic constants.  Cadence (steps per
+    day, coupling interval, decomposition limits) still comes from ``atm``
+    and ``ocn``.  The resolved costs are reported on
+    ``SimulationResult.per_step_costs`` either way.
     """
     machine = machine or ibm_sp2()
     atm = atm or AtmosphereCost()
@@ -110,16 +124,37 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     ocean_busy_until = 0.0        # when the ocean ranks finish their call
     ocean_work_start = None
 
-    coupler_time = machine.compute_time(cpl.step_ops() / n_atm_ranks)
-    if transpose_comm is not None:
-        transpose_volume = transpose_bytes_from_stats(transpose_comm)
+    if measured is not None:
+        coupler_time = measured.coupler_seconds / n_atm_ranks
+        step_seconds = measured.step_seconds
+        radiation_step_seconds = measured.radiation_step_seconds
+        ocean_call_seconds = measured.ocean_call_seconds
     else:
-        transpose_volume = atm.transpose_bytes()
-    transpose_time = machine.alltoall_time(n_atm_ranks, transpose_volume)
+        coupler_time = machine.compute_time(cpl.step_ops() / n_atm_ranks)
+        step_seconds = machine.compute_time(atm.step_ops(radiation=False))
+        radiation_step_seconds = machine.compute_time(atm.step_ops(radiation=True))
+        ocean_call_seconds = machine.compute_time(ocn.call_ops())
+    if measured is not None and measured.transpose_seconds > 0.0:
+        transpose_time = measured.transpose_seconds
+    else:
+        if transpose_comm is not None:
+            transpose_volume = transpose_bytes_from_stats(transpose_comm)
+        else:
+            transpose_volume = atm.transpose_bytes()
+        transpose_time = machine.alltoall_time(n_atm_ranks, transpose_volume)
+    per_step_costs = {
+        "step_seconds": step_seconds,
+        "radiation_step_seconds": radiation_step_seconds,
+        "coupler_seconds": coupler_time * n_atm_ranks,
+        "transpose_seconds": transpose_time,
+        "ocean_call_seconds": ocean_call_seconds,
+        "source": measured.source if measured is not None else "analytic",
+    }
 
     for k in range(nsteps):
-        step_ops = atm.step_ops(radiation=k in radiation_steps)
-        base = machine.compute_time(step_ops / (n_atm_ranks * eff))
+        step_total = (radiation_step_seconds if k in radiation_steps
+                      else step_seconds)
+        base = step_total / (n_atm_ranks * eff)
         # Cloud-driven imbalance: each rank's compute differs (Fig 2).
         comp = base * (1.0 + imbalance * rng.uniform(-1.0, 1.0, n_atm_ranks))
         comp_end = t + comp
@@ -149,7 +184,7 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
             elif t > 0:
                 for tr in ocn_traces:
                     tr.record(0.0, t, "idle")
-            ocean_call = machine.compute_time(ocn.call_ops() / n_ocn_ranks)
+            ocean_call = ocean_call_seconds / n_ocn_ranks
             if n_ocn_ranks > 1:
                 ocean_call += 4 * machine.message_time(ocn.halo_bytes())
             ocean_work_start = t
@@ -172,7 +207,8 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
         traces.attach_comm(transpose_comm)
     return SimulationResult(traces=traces, wall_seconds=t,
                             simulated_seconds=86400.0,
-                            n_atm_ranks=n_atm_ranks, n_ocn_ranks=n_ocn_ranks)
+                            n_atm_ranks=n_atm_ranks, n_ocn_ranks=n_ocn_ranks,
+                            per_step_costs=per_step_costs)
 
 
 def simulate_ocean_day(n_ranks: int, machine: MachineModel | None = None,

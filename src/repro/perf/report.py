@@ -1,0 +1,129 @@
+"""Measured time-allocation report: the wall-clock analogue of Figure 2.
+
+``python -m repro.perf.report`` runs a short coupled integration with the
+profiler enabled, prints the hierarchical per-section table, and shows the
+event-simulator calibration derived from it
+(:func:`repro.perf.costmodel.calibrate_from_profile`) — closing the loop
+between the real Python components and the modeled 1997 machine::
+
+    PYTHONPATH=src python -m repro.perf.report --days 0.5
+    PYTHONPATH=src python -m repro.perf.report --json profile.json
+    PYTHONPATH=src python -m repro.perf.report --load profile.json
+
+This module imports :mod:`repro.core` (the whole coupled model), so it is
+*not* re-exported from ``repro.perf`` — the instrumented component modules
+import ``repro.perf.profiler`` and must not be pulled in circularly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.costmodel import calibrate_from_profile
+from repro.perf.profiler import RunProfile, enable_profiling, take_profile
+
+
+def profile_coupled_run(days: float = 1.0, config: str = "test",
+                        seed: int | None = None) -> RunProfile:
+    """Run the coupled model for ``days`` with profiling on; return the profile.
+
+    ``config`` selects ``repro.core.config``'s ``test``/``small``/``paper``
+    resolution.  Model construction and spin-up state building are *outside*
+    the profiling window; only ``coupled_step`` work is measured.
+    """
+    # Deferred import: keeps repro.perf importable from the instrumented
+    # component modules (repro.core pulls in all of them).
+    from repro.core.config import paper_config, small_config, test_config
+    from repro.core.foam import FoamModel
+
+    factories = {"test": test_config, "small": small_config,
+                 "paper": paper_config}
+    if config not in factories:
+        raise ValueError(f"unknown config {config!r}; pick from "
+                         f"{sorted(factories)}")
+    cfg = factories[config]()
+    if seed is not None:
+        cfg.seed = seed
+    model = FoamModel(cfg)
+    state = model.initial_state()
+    nsteps = max(1, int(round(days * 86400.0 / cfg.atm_dt)))
+
+    prof = enable_profiling()
+    prof.reset()
+    try:
+        for _ in range(nsteps):
+            state = model.coupled_step(state)
+    finally:
+        prof.disable()
+    return take_profile(
+        label=f"coupled {config} run, {nsteps} steps ({days:g} days)",
+        meta={"config": config, "days": days, "nsteps": nsteps,
+              "atm_dt": cfg.atm_dt,
+              "atm_grid": [cfg.atm_nlat, cfg.atm_nlon, cfg.atm_nlev],
+              "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev]})
+
+
+def format_calibration(profile: RunProfile) -> str:
+    """Render the event-simulator costs calibrated from ``profile``."""
+    try:
+        mc = calibrate_from_profile(profile)
+    except ValueError as err:
+        return f"calibration unavailable: {err}"
+    lines = [
+        "calibrated event-simulator costs (serial seconds per section):",
+        f"  ordinary atmosphere step  {mc.step_seconds:12.6f}",
+        f"  radiation atmosphere step {mc.radiation_step_seconds:12.6f}"
+        f"  ({mc.radiation_step_seconds / mc.step_seconds:.2f}x ordinary)",
+        f"  coupler per step          {mc.coupler_seconds:12.6f}",
+        f"  ocean call                {mc.ocean_call_seconds:12.6f}",
+    ]
+    if mc.transpose_seconds > 0.0:
+        lines.append(f"  transpose per step        {mc.transpose_seconds:12.6f}")
+    else:
+        lines.append("  transpose: not exercised (serial run); simulator "
+                     "falls back to byte-volume model")
+    lines.append("feed these into simulate_coupled_day(..., measured=...) "
+                 "to replay the run on a modeled machine.")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.report",
+        description="Measured per-section time allocation of a coupled run "
+                    "(the wall-clock analogue of the paper's Figure 2).")
+    parser.add_argument("--days", type=float, default=1.0,
+                        help="simulated days to integrate (default: 1)")
+    parser.add_argument("--config", default="test",
+                        choices=("test", "small", "paper"),
+                        help="model resolution (default: test)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the config's RNG seed")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the RunProfile as JSON to PATH")
+    parser.add_argument("--load", metavar="PATH", default=None,
+                        help="render a previously saved profile instead of "
+                             "running the model")
+    parser.add_argument("--min-fraction", type=float, default=0.0,
+                        help="hide sections below this share of total time")
+    args = parser.parse_args(argv)
+
+    if args.load is not None:
+        profile = RunProfile.load(args.load)
+    else:
+        profile = profile_coupled_run(days=args.days, config=args.config,
+                                      seed=args.seed)
+
+    print(profile.format_table(min_fraction=args.min_fraction))
+    print()
+    print(format_calibration(profile))
+
+    if args.json is not None:
+        profile.save(args.json)
+        print(f"\nprofile written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

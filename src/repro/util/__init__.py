@@ -2,19 +2,19 @@
 
 from repro.util import constants
 from repro.util.thermo import (
-    saturation_vapor_pressure,
-    saturation_mixing_ratio,
+    dewpoint,
+    moist_static_energy,
     potential_temperature,
+    saturation_mixing_ratio,
+    saturation_vapor_pressure,
     temperature_from_theta,
     virtual_temperature,
-    moist_static_energy,
-    dewpoint,
 )
 from repro.util.validation import (
+    require_finite,
+    require_in_range,
     require_positive,
     require_shape,
-    require_in_range,
-    require_finite,
 )
 
 __all__ = [

@@ -1,10 +1,8 @@
 """Tests for the Hack shallow and Zhang-McFarlane deep convection schemes."""
 
 import numpy as np
-import pytest
 
 from repro.atmosphere.physics.convection import (
-    ConvectionParams,
     compute_cape,
     hack_shallow,
     zhang_mcfarlane_deep,

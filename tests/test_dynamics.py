@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
+from repro.atmosphere.dynamics import SpectralDynamicalCore
 from repro.atmosphere.spectral import SpectralTransform, Truncation
 from repro.atmosphere.vertical import VerticalGrid
 from repro.util.constants import P0

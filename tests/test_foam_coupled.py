@@ -10,7 +10,6 @@ from repro.core import (
     load_restart,
     paper_config,
     save_restart,
-    small_config,
 )
 from repro.core import test_config as tiny_config
 

@@ -6,7 +6,6 @@ import pytest
 from repro.atmosphere.dynamics import SpectralDynamicalCore
 from repro.atmosphere.heldsuarez import (
     HeldSuarezForcing,
-    HeldSuarezParams,
     equilibrium_temperature,
 )
 from repro.atmosphere.spectral import SpectralTransform, Truncation

@@ -20,10 +20,8 @@ from repro.coupler import (
 from repro.coupler.seaice import SEAICE_MIN_THICKNESS
 from repro.util.constants import (
     RHO_WATER,
-    SEAICE_FRESHWATER_DEPTH,
     SEAICE_STRESS_DIVISOR,
     SOIL_MOISTURE_CAPACITY,
-    T_FREEZE,
 )
 
 

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ocean import (
     OceanGrid,
@@ -16,7 +14,7 @@ from repro.ocean import (
     richardson_number,
 )
 from repro.ocean.filters import masked_zonal_smooth
-from repro.ocean.operators import biharmonic, ddx, ddy, flux_divergence, laplacian
+from repro.ocean.operators import biharmonic, ddx, flux_divergence, laplacian
 
 
 # ------------------------------------------------------------- PP mixing

@@ -10,7 +10,6 @@ from repro.ocean import (
     OceanForcing,
     OceanGrid,
     OceanModel,
-    OceanParams,
     aquaplanet_topography,
     world_topography,
 )

@@ -11,7 +11,6 @@ from repro.perf import (
     atmosphere_ocean_cost_ratio,
     atmosphere_parallel_efficiency,
     cost_performance_ratio,
-    cray_c90,
     ibm_sp2,
     scaling_curve,
     simulate_coupled_day,
@@ -228,3 +227,84 @@ def test_measured_transpose_volume_rank_count_invariant():
     volumes = [transpose_bytes_from_stats(
         measure_transpose_comm(k, nlat=16, nm=8, nlev=3)) for k in (2, 4)]
     assert volumes[0] == pytest.approx(volumes[1], rel=1e-12)
+
+
+# --------------------------------------- profile-calibrated timing (ISSUE 3)
+def test_measured_costs_validation():
+    from repro.perf import MeasuredCosts
+
+    mc = MeasuredCosts(step_seconds=0.01, radiation_step_seconds=0.02,
+                       coupler_seconds=0.003, ocean_call_seconds=0.013)
+    assert mc.transpose_seconds == 0.0
+    with pytest.raises(ValueError):
+        MeasuredCosts(step_seconds=0.0, radiation_step_seconds=0.02,
+                      coupler_seconds=0.003, ocean_call_seconds=0.013)
+
+
+def test_calibrate_from_profile_requires_instrumented_run():
+    from repro.perf import calibrate_from_profile
+    from repro.perf.profiler import RunProfile
+
+    with pytest.raises(ValueError, match="atmosphere/dynamics"):
+        calibrate_from_profile(RunProfile(label="empty"))
+
+
+def test_calibrated_eventsim_reproduces_measured_ordering():
+    """ISSUE 3 acceptance: `calibrate_from_profile()`-driven
+    `simulate_coupled_day` reproduces the measured section ordering —
+    radiation steps costlier than ordinary steps, transpose nonzero."""
+    from repro.core.config import test_config
+    from repro.core.foam import FoamModel
+    from repro.parallel.components import measure_transpose_comm
+    from repro.perf import calibrate_from_profile
+    from repro.perf.profiler import (
+        disable_profiling,
+        enable_profiling,
+        take_profile,
+    )
+
+    model = FoamModel(test_config())
+    state = model.initial_state()
+    prof = enable_profiling()
+    prof.reset()
+    try:
+        # One coupling interval: includes the step-0 radiation pass and one
+        # ocean call; plus one distributed transpose for the comm sections.
+        for _ in range(model.config.atm_steps_per_coupling):
+            state = model.coupled_step(state)
+        measure_transpose_comm(4, nlat=model.config.atm_nlat,
+                               nm=model.config.atm_mmax + 1,
+                               nlev=model.config.atm_nlev)
+    finally:
+        disable_profiling()
+    profile = take_profile("measured coupled interval")
+
+    mc = calibrate_from_profile(profile)
+    # Measured ordering: radiation steps cost strictly more than ordinary
+    # ones, and the distributed transpose has a nonzero measured cost.
+    assert mc.radiation_step_seconds > mc.step_seconds > 0.0
+    assert mc.transpose_seconds > 0.0
+    assert mc.ocean_call_seconds > 0.0
+    assert mc.coupler_seconds > 0.0
+
+    res = simulate_coupled_day(8, 1, seed=0, imbalance=0.0, measured=mc)
+    costs = res.per_step_costs
+    assert costs["source"] == "measured coupled interval"
+    assert costs["radiation_step_seconds"] > costs["step_seconds"]
+    assert costs["transpose_seconds"] == pytest.approx(mc.transpose_seconds)
+    assert res.wall_seconds > 0 and res.speedup > 0
+
+    # With no imbalance, the radiation step (k=0) must show up as a longer
+    # atmosphere segment than the ordinary step that follows it.
+    atm_segments = [s for s in res.traces.traces[0].segments
+                    if s.activity == "atmosphere"]
+    assert atm_segments[0].duration > atm_segments[1].duration
+
+
+def test_eventsim_reports_per_step_costs_in_analytic_mode():
+    res = simulate_coupled_day(8, 1, seed=0)
+    costs = res.per_step_costs
+    assert costs["source"] == "analytic"
+    assert costs["radiation_step_seconds"] > costs["step_seconds"] > 0
+    assert costs["transpose_seconds"] > 0
+    assert costs["ocean_call_seconds"] > 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.atmosphere.physics import PhysicsSuite, SurfaceState
-from repro.util.constants import GRAVITY, SECONDS_PER_DAY
+from repro.util.constants import SECONDS_PER_DAY
 from repro.util.thermo import saturation_mixing_ratio
 
 

@@ -1,7 +1,6 @@
 """Tests for the radiation package."""
 
 import numpy as np
-import pytest
 
 from repro.atmosphere.physics.radiation import (
     RadiationParams,

@@ -18,7 +18,6 @@ from repro.util import (
     temperature_from_theta,
     virtual_temperature,
 )
-from repro.util.constants import T_FREEZE
 
 
 # ------------------------------------------------------------- thermo
