@@ -1,0 +1,142 @@
+"""Backend/workspace benchmark (ISSUE 4): precision + allocation reuse.
+
+Times one coupled simulated day of the test configuration under the default
+float64 policy and under ``dtype="float32"``, with the profiler's workspace
+counters (``ws.hits``/``ws.misses``) recording how many hot-path temporaries
+were served from the preallocated :mod:`repro.backend` arena instead of
+fresh ``np.empty`` calls.  A third run with ``FOAM_WORKSPACE=0`` gives the
+no-reuse baseline, so the allocation drop is measured, not asserted from
+code reading.
+
+Persists ``BENCH_backend.json`` (set ``BENCH_BACKEND_PATH`` to move it) —
+the machine-checkable record that the workspace layer eliminates >= 50 % of
+per-step temporary allocations in the ocean and spectral kernels.
+"""
+
+import json
+import os
+import time
+
+from conftest import backend_measure_steps, report
+from repro.backend import workspace_totals
+# Alias keeps pytest from collecting the config factory as a test.
+from repro.core.config import test_config as _test_config
+from repro.core.foam import FoamModel
+from repro.perf.profiler import enable_profiling, take_profile
+
+WARMUP_STEPS = 2      # enough to populate every (name, shape, dtype) buffer
+
+
+def _section_ws_counters(profile, prefix: str) -> tuple[float, float]:
+    """Sum (ws.hits, ws.misses) over sections whose path starts with prefix."""
+    hits = misses = 0.0
+    for s in profile.matching(lambda p: p == prefix or p.startswith(prefix + "/")):
+        hits += s.counters.get("ws.hits", 0.0)
+        misses += s.counters.get("ws.misses", 0.0)
+    return hits, misses
+
+
+def _run_day(dtype: str, workspace_on: bool, steps: int) -> dict:
+    """One warmed coupled day; returns wall time + workspace accounting."""
+    old = os.environ.get("FOAM_WORKSPACE")
+    os.environ["FOAM_WORKSPACE"] = "1" if workspace_on else "0"
+    try:
+        cfg = _test_config()
+        cfg.dtype = dtype
+        model = FoamModel(cfg)
+        state = model.initial_state()
+        for _ in range(WARMUP_STEPS):
+            state = model.coupled_step(state)
+
+        before = workspace_totals()
+        prof = enable_profiling()
+        prof.reset()
+        t0 = time.perf_counter()
+        try:
+            for _ in range(steps):
+                state = model.coupled_step(state)
+        finally:
+            prof.disable()
+        wall = time.perf_counter() - t0
+        after = workspace_totals()
+        profile = take_profile(label=f"backend bench {dtype}")
+    finally:
+        if old is None:
+            os.environ.pop("FOAM_WORKSPACE", None)
+        else:
+            os.environ["FOAM_WORKSPACE"] = old
+
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    requests = hits + misses
+    ocn_hits, ocn_misses = _section_ws_counters(profile, "ocean")
+    atm_hits, atm_misses = _section_ws_counters(profile, "atmosphere")
+    return {
+        "dtype": dtype,
+        "workspace": workspace_on,
+        "steps": steps,
+        "wall_seconds": wall,
+        "step_seconds": wall / steps,
+        "ws_hits": hits,
+        "ws_misses": misses,
+        "ws_requests": requests,
+        "hit_rate": hits / requests if requests else 0.0,
+        "ws_buffers": after["buffers"],
+        "ws_nbytes": after["nbytes"],
+        "ocean": {"ws_hits": ocn_hits, "ws_misses": ocn_misses},
+        "atmosphere": {"ws_hits": atm_hits, "ws_misses": atm_misses},
+    }
+
+
+def test_backend_workspace_day(benchmark):
+    steps = backend_measure_steps()
+
+    f64 = benchmark.pedantic(
+        _run_day, kwargs={"dtype": "float64", "workspace_on": True,
+                          "steps": steps},
+        rounds=1, iterations=1)
+    f32 = _run_day("float32", workspace_on=True, steps=steps)
+    base = _run_day("float64", workspace_on=False, steps=steps)
+
+    # ISSUE 4 acceptance: the warmed workspace serves >= 50 % of hot-path
+    # temporary requests from reused buffers (it is ~100 % in practice),
+    # both overall and within the ocean and spectral-atmosphere sections.
+    for run in (f64, f32):
+        assert run["ws_requests"] > 0, "workspace layer saw no requests"
+        assert run["hit_rate"] >= 0.5, (
+            f"{run['dtype']}: hit rate {run['hit_rate']:.2%} below 50 %")
+        for part in ("ocean", "atmosphere"):
+            h, m = run[part]["ws_hits"], run[part]["ws_misses"]
+            assert h + m > 0, f"{part} kernels made no workspace requests"
+            assert h / (h + m) >= 0.5, (
+                f"{run['dtype']}/{part}: hit rate {h / (h + m):.2%}")
+    # The disabled-workspace baseline allocates on every request.
+    assert base["ws_hits"] == 0 and base["ws_misses"] == base["ws_requests"]
+    alloc_drop = 1.0 - (f64["ws_misses"] / base["ws_misses"]
+                        if base["ws_misses"] else 1.0)
+    assert alloc_drop >= 0.5
+
+    out_path = os.environ.get("BENCH_BACKEND_PATH", "BENCH_backend.json")
+    payload = {
+        "config": "test",
+        "measured_steps": steps,
+        "warmup_steps": WARMUP_STEPS,
+        "allocation_drop": alloc_drop,
+        "runs": {"float64": f64, "float32": f32, "no_workspace": base},
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    report("Ebackend: workspace + precision (test config, "
+           f"{steps} coupled steps)", [
+        ("float64 day wall", "baseline", f"{f64['wall_seconds']:.3f} s"),
+        ("float32 day wall", "<= ~baseline", f"{f32['wall_seconds']:.3f} s"),
+        ("no-workspace day wall", "reference", f"{base['wall_seconds']:.3f} s"),
+        ("float64 ws hit rate", ">= 50%", f"{f64['hit_rate']:.1%}"),
+        ("float32 ws hit rate", ">= 50%", f"{f32['hit_rate']:.1%}"),
+        ("per-step allocation drop", ">= 50%", f"{alloc_drop:.1%}"),
+        ("ocean hit rate (f64)", ">= 50%",
+         f"{f64['ocean']['ws_hits'] / max(1.0, sum(f64['ocean'].values())):.1%}"),
+        ("backend artifact", "BENCH_backend.json", out_path),
+    ])
+    assert os.path.exists(out_path)

@@ -33,6 +33,18 @@ def pytest_configure(config):
         config.option.benchmark_warmup = "off"
 
 
+def backend_measure_steps() -> int:
+    """Measured coupled steps for bench_backend's timing window.
+
+    A full simulated day (24 one-hour test-config steps) normally; the
+    FOAM_BENCH_FAST smoke job shrinks the window the same way it bounds
+    pytest-benchmark rounds.  The backend itself still honors the usual
+    ``FOAM_DTYPE``/``FOAM_BACKEND``/``FOAM_WORKSPACE`` knobs for any bench
+    that does not set them explicitly.
+    """
+    return 6 if os.environ.get("FOAM_BENCH_FAST") else 24
+
+
 if not HAVE_PYTEST_BENCHMARK:
     # Headless/minimal environments without pytest-benchmark still collect
     # and run the bench files: each benchmarked callable runs exactly once.

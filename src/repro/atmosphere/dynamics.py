@@ -30,6 +30,7 @@ import numpy as np
 from repro.atmosphere.semilag import advect_semilagrangian
 from repro.atmosphere.spectral import SpectralTransform
 from repro.atmosphere.vertical import VerticalGrid
+from repro.backend import get_workspace
 from repro.perf.profiler import profile_section, profiled
 from repro.util.constants import CP, KAPPA, OMEGA, P0, RD
 
@@ -91,10 +92,14 @@ class SpectralDynamicalCore:
 
         # Coriolis parameter as a grid field; f also enters the vorticity
         # equation through the nonlinear terms only (f itself is Y_1^0).
-        self.f_grid = 2.0 * OMEGA * transform.mu[:, None] * np.ones((1, transform.nlon))
+        self.f_grid = (2.0 * OMEGA * transform.mu[:, None]
+                       * np.ones((1, transform.nlon))
+                       ).astype(transform.policy.float_dtype, copy=False)
 
         # Semi-implicit solver tables: one (L x L) inverse per total wavenumber.
         self._m_matrix = vgrid.semi_implicit_matrix()
+        self._hyper_denom: np.ndarray | None = None
+        self._hyper_dt: float | None = None
         self._build_implicit_inverses()
 
     # ------------------------------------------------------------------
@@ -123,11 +128,13 @@ class SpectralDynamicalCore:
         """
         L = self.vg.nlev
         nm, nk = self.tr.spec_shape
-        zero = np.zeros((L, nm, nk), dtype=complex)
+        cdt = self.tr.policy.complex_dtype
+        fdt = self.tr.policy.float_dtype
+        zero = np.zeros((L, nm, nk), dtype=cdt)
         state = AtmosphereState(
             vort=zero.copy(), div=zero.copy(), temp=zero.copy(),
-            lnps=np.zeros((nm, nk), dtype=complex),
-            q=np.zeros((L, self.tr.nlat, self.tr.nlon)))
+            lnps=np.zeros((nm, nk), dtype=cdt),
+            q=np.zeros((L, self.tr.nlat, self.tr.nlon), dtype=fdt))
         if kind == "isothermal_rest":
             if noise_amplitude > 0:
                 rng = np.random.default_rng(seed)
@@ -156,7 +163,10 @@ class SpectralDynamicalCore:
     def diagnose(self, state: AtmosphereState) -> GridDiagnostics:
         """Synthesize all grid fields the physics and coupler need."""
         L = self.vg.nlev
-        u = np.empty((L, self.tr.nlat, self.tr.nlon))
+        fdt = self.tr.policy.float_dtype
+        # Diagnostics escape into GridDiagnostics, so they are freshly
+        # allocated (never workspace buffers) — only their dtype is policy.
+        u = np.empty((L, self.tr.nlat, self.tr.nlon), dtype=fdt)
         v = np.empty_like(u)
         tg = np.empty_like(u)
         zg = np.empty_like(u)
@@ -169,10 +179,10 @@ class SpectralDynamicalCore:
         lnps = self.tr.synthesize(state.lnps)
         ps = P0 * np.exp(lnps)
         pressure = self.vg.sigma[:, None, None] * ps[None, :, :]
-        phi = self.vg.geopotential(tg)
+        phi = self.vg.geopotential(tg).astype(fdt, copy=False)
         px, py = self.tr.gradient(state.lnps)
         vgradp = u * px[None] + v * py[None]
-        wop = self.vg.omega_over_p(dg, vgradp)
+        wop = self.vg.omega_over_p(dg, vgradp).astype(fdt, copy=False)
         return GridDiagnostics(u=u, v=v, temp=tg, vort=zg, div=dg, lnps=lnps,
                                ps=ps, pressure=pressure, geopotential=phi,
                                omega_over_p=wop)
@@ -208,14 +218,17 @@ class SpectralDynamicalCore:
         fu = absvort * d.v - du_dsig - RD * tprime * px[None]
         fv = -absvort * d.u - dv_dsig - RD * tprime * py[None]
 
-        n_vort = np.empty_like(state.vort)
-        n_div = np.empty_like(state.div)
-        n_temp = np.empty_like(state.temp)
+        # Tendency accumulators are consumed inside this step only, so they
+        # live in the workspace arena (unique names: never aliased).
+        ws = get_workspace()
+        n_vort = ws.empty_like("dyn.n_vort", state.vort)
+        n_div = ws.empty_like("dyn.n_div", state.div)
+        n_temp = ws.empty_like("dyn.n_temp", state.temp)
 
         # Thermodynamic: advective form + full energy conversion, minus the
         # linear part that the implicit tau matrix will handle.
         # Linearized omega/p keeps only the divergence part:
-        wop_lin = vg.omega_over_p(d.div, np.zeros_like(vgradp))
+        wop_lin = vg.omega_over_p(d.div, ws.zeros_like("dyn.wop_zero", vgradp))
         heating = KAPPA * d.temp * d.omega_over_p - KAPPA * vg.t_ref * wop_lin
 
         for l in range(L):
@@ -263,6 +276,13 @@ class SpectralDynamicalCore:
                 new_lnps = prev.lnps + 2.0 * dt * (
                     n_pi - np.tensordot(dsig, curr.div, axes=(0, 0)))
 
+        # Mixed-precision leakage guard: the float64 implicit solver tables
+        # upcast the update under a float32 policy; pin state dtype here.
+        cdt = self.tr.policy.complex_dtype
+        new_div = new_div.astype(cdt, copy=False)
+        new_temp = new_temp.astype(cdt, copy=False)
+        new_lnps = new_lnps.astype(cdt, copy=False)
+
         # del^4 hyperdiffusion, applied implicitly to the new fields.
         with profile_section("hyperdiffusion"):
             new_vort = self._hyperdiffuse(new_vort)
@@ -291,9 +311,15 @@ class SpectralDynamicalCore:
         return spec3 * self.tr._lap[None]
 
     def _hyperdiffuse(self, spec3: np.ndarray) -> np.ndarray:
-        n = self.tr.trunc.n_values().astype(float)
-        damp = self.k4 * (n * (n + 1.0) / self.tr.radius**2) ** 2
-        return spec3 / (1.0 + 2.0 * self.dt * damp)[None]
+        # The implicit damping denominator depends only on (truncation, dt);
+        # rebuild it only when dt changes instead of three times per step.
+        if self._hyper_denom is None or self._hyper_dt != self.dt:
+            n = self.tr.trunc.n_values().astype(np.float64)
+            damp = self.k4 * (n * (n + 1.0) / self.tr.radius**2) ** 2
+            denom = (1.0 + 2.0 * self.dt * damp)[None]
+            self._hyper_denom = denom.astype(self.tr.policy.float_dtype, copy=False)
+            self._hyper_dt = self.dt
+        return spec3 / self._hyper_denom
 
     def _implicit_update(self, prev: AtmosphereState, n_div, n_temp, n_pi):
         """Semi-implicit solve for divergence, then back-substitute T and lnps."""

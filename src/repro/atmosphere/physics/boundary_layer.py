@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_workspace
 from repro.util.constants import CP, GRAVITY, RD
 from repro.util.thermo import potential_temperature
 
@@ -34,8 +35,9 @@ def solve_tridiagonal(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
     (L, ...); returns the solution with the same shape.
     """
     L = diag.shape[0]
-    cp = np.empty_like(diag)
-    dp_ = np.empty_like(rhs)
+    ws = get_workspace()
+    cp = ws.empty_like("tridiag.cp", diag)
+    dp_ = ws.empty_like("tridiag.dp", rhs)
     cp[0] = upper[0] / diag[0]
     dp_[0] = rhs[0] / diag[0]
     for i in range(1, L):

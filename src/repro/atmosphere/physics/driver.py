@@ -37,6 +37,7 @@ from repro.atmosphere.physics.radiation import (
     solar_zenith_cos,
 )
 from repro.atmosphere.physics.stratiform import StratiformParams, stratiform_tendencies
+from repro.backend import get_workspace
 from repro.perf.profiler import profile_section
 from repro.util.constants import GRAVITY, SECONDS_PER_DAY
 
@@ -102,8 +103,13 @@ class PhysicsSuite:
         computation (its overlap-grid role); otherwise the CCM2/CCM3 bulk
         formulas run here.
         """
-        dp = dsigma[:, None, None] * ps[None]
-        z_full = geopotential / GRAVITY
+        ws = get_workspace()
+        dp = np.multiply(
+            dsigma[:, None, None], ps[None],
+            out=ws.empty("phys.dp", (dsigma.shape[0],) + ps.shape,
+                         np.result_type(dsigma, ps)))
+        z_full = np.divide(geopotential, GRAVITY,
+                           out=ws.empty_like("phys.z_full", geopotential))
 
         # ---- 1. radiation (cached between radiation steps) --------------
         if self.radiation_due(time):
@@ -140,29 +146,48 @@ class PhysicsSuite:
                 ustar=fluxes["ustar"], shf=fluxes["shf"], lhf_evap=fluxes["evap"],
                 taux=-fluxes["taux"], tauy=-fluxes["tauy"], params=self.pbl)
 
-            t_work = temp + dt * (dtdt_pbl + sw_heat + lw_heat)
-            q_work = np.maximum(q + dt * dqdt_pbl, 0.0)
+            # In-place accumulation on workspace buffers; the op order matches
+            # the original expressions so default-precision runs are bitwise
+            # identical.  Only the fresh total_* arrays below escape.
+            t_work = np.add(dtdt_pbl, sw_heat,
+                            out=ws.empty_like("phys.t_work", temp))
+            t_work += lw_heat
+            t_work *= dt
+            t_work += temp
+            q_work = np.multiply(dqdt_pbl, dt,
+                                 out=ws.empty_like("phys.q_work", q))
+            q_work += q
+            np.maximum(q_work, 0.0, out=q_work)
 
         # ---- 4. deep convection ------------------------------------------
         with profile_section("deep_convection"):
             dtdt_zm, dqdt_zm, prec_zm = zhang_mcfarlane_deep(
                 t_work, q_work, pressure, dp, dt, self.conv)
-            t_work = t_work + dt * dtdt_zm
-            q_work = np.maximum(q_work + dt * dqdt_zm, 0.0)
+            t_work += np.multiply(dtdt_zm, dt,
+                                  out=ws.empty_like("phys.incr", temp))
+            q_work += np.multiply(dqdt_zm, dt,
+                                  out=ws.empty_like("phys.incr", q))
+            np.maximum(q_work, 0.0, out=q_work)
 
         # ---- 5. shallow convection ----------------------------------------
         with profile_section("shallow_convection"):
             dtdt_hk, dqdt_hk, prec_hk = hack_shallow(
                 t_work, q_work, pressure, dp, geopotential, dt, self.conv)
-            t_work = t_work + dt * dtdt_hk
-            q_work = np.maximum(q_work + dt * dqdt_hk, 0.0)
+            t_work += np.multiply(dtdt_hk, dt,
+                                  out=ws.empty_like("phys.incr", temp))
+            q_work += np.multiply(dqdt_hk, dt,
+                                  out=ws.empty_like("phys.incr", q))
+            np.maximum(q_work, 0.0, out=q_work)
 
         # ---- 6. stratiform -------------------------------------------------
         with profile_section("stratiform"):
             dtdt_st, dqdt_st, prec_st = stratiform_tendencies(
                 t_work, q_work, pressure, dp, dt, self.strat)
-            t_work = t_work + dt * dtdt_st
-            q_work = np.maximum(q_work + dt * dqdt_st, 0.0)
+            t_work += np.multiply(dtdt_st, dt,
+                                  out=ws.empty_like("phys.incr", temp))
+            q_work += np.multiply(dqdt_st, dt,
+                                  out=ws.empty_like("phys.incr", q))
+            np.maximum(q_work, 0.0, out=q_work)
 
         total_dtdt = (t_work - temp) / dt
         total_dqdt = (q_work - q) / dt

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.atmosphere.spectral import SpectralTransform
+from repro.backend import get_workspace
 
 
 def _bilinear_sphere(field: np.ndarray, lats: np.ndarray, lons: np.ndarray,
@@ -59,19 +60,34 @@ def _bilinear_sphere(field: np.ndarray, lats: np.ndarray, lons: np.ndarray,
 def departure_points(tr: SpectralTransform, u: np.ndarray, v: np.ndarray,
                      dt: float) -> tuple[np.ndarray, np.ndarray]:
     """Upstream departure (lat, lon) for every grid point, one midpoint pass."""
-    lat2 = tr.lats[:, None] * np.ones((1, tr.nlon))
-    lon2 = np.ones((tr.nlat, 1)) * tr.lons[None, :]
+    ws = get_workspace()
+    shape = (tr.nlat, tr.nlon)
+    lat2 = ws.empty("semilag.lat2", shape, np.float64)
+    lat2[:] = tr.lats[:, None]
+    lon2 = ws.empty("semilag.lon2", shape, np.float64)
+    lon2[:] = tr.lons[None, :]
     a = tr.radius
-    coslat = np.maximum(np.cos(lat2), 0.05)  # guard the polar singularity
+    coslat = np.cos(lat2, out=ws.empty("semilag.coslat", shape, np.float64))
+    coslat = np.maximum(coslat, 0.05, out=coslat)  # guard the polar singularity
+    acoslat = np.multiply(coslat, a, out=coslat)
 
     # First guess straight upstream, then one midpoint refinement.
-    lat_mid = lat2 - 0.5 * dt * v / a
-    lon_mid = lon2 - 0.5 * dt * u / (a * coslat)
+    fdt = np.result_type(u, np.float64)
+    t_lat = np.multiply(v, 0.5 * dt, out=ws.empty("semilag.tlat", shape, fdt))
+    t_lat /= a
+    lat_mid = np.subtract(lat2, t_lat, out=t_lat)
+    t_lon = np.multiply(u, 0.5 * dt, out=ws.empty("semilag.tlon", shape, fdt))
+    t_lon /= acoslat
+    lon_mid = np.subtract(lon2, t_lon, out=t_lon)
     u_mid = _bilinear_sphere(u, tr.lats, tr.lons, lat_mid, lon_mid)
     v_mid = _bilinear_sphere(v, tr.lats, tr.lons, lat_mid, lon_mid)
-    lat_d = lat2 - dt * v_mid / a
-    lon_d = lon2 - dt * u_mid / (a * coslat)
-    lat_d = np.clip(lat_d, tr.lats[0], tr.lats[-1])
+    v_mid *= dt
+    v_mid /= a
+    lat_d = np.subtract(lat2, v_mid, out=v_mid)
+    u_mid *= dt
+    u_mid /= acoslat
+    lon_d = np.subtract(lon2, u_mid, out=u_mid)
+    lat_d = np.clip(lat_d, tr.lats[0], tr.lats[-1], out=lat_d)
     return lat_d, lon_d
 
 
@@ -84,7 +100,8 @@ def advect_semilagrangian(tr: SpectralTransform, u: np.ndarray, v: np.ndarray,
     """
     if q.shape != u.shape:
         raise ValueError(f"q shape {q.shape} must match wind shape {u.shape}")
-    out = np.empty_like(q)
+    # `out` never escapes: the clipped copy below is what the caller keeps.
+    out = get_workspace().empty_like("semilag.out", q)
     for l in range(q.shape[0]):
         lat_d, lon_d = departure_points(tr, u[l], v[l], dt)
         out[l] = _bilinear_sphere(q[l], tr.lats, tr.lons, lat_d, lon_d)

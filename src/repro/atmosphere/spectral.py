@@ -28,6 +28,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.backend import DTypePolicy, get_workspace, policy_from_name
 from repro.perf.profiler import profiled
 from repro.util.constants import EARTH_RADIUS
 
@@ -151,7 +152,8 @@ class SpectralTransform:
     """
 
     def __init__(self, nlat: int, nlon: int, trunc: Truncation,
-                 radius: float = EARTH_RADIUS):
+                 radius: float = EARTH_RADIUS,
+                 dtype: str | DTypePolicy | None = None):
         if nlon < 2 * trunc.mmax + 1:
             raise ValueError(
                 f"nlon={nlon} cannot resolve m up to {trunc.mmax} without aliasing; "
@@ -165,25 +167,36 @@ class SpectralTransform:
         self.nlon = nlon
         self.trunc = trunc
         self.radius = radius
+        self.policy = policy_from_name(dtype)
+        fdt = self.policy.float_dtype
+        cdt = self.policy.complex_dtype
 
         self.mu, self.weights = gaussian_latitudes(nlat)
         self.lats = np.arcsin(self.mu)                  # radians, S->N
         self.lons = 2.0 * np.pi * np.arange(nlon) / nlon
-        self.coslat = np.cos(self.lats)
 
-        # Legendre tables, with one extra k row for the H recurrence.
+        # Legendre tables: built in float64 for recurrence stability, then
+        # cast to the policy precision the transforms run in.
         pbar_ext = associated_legendre(self.mu, trunc.mmax, trunc.nk + 1)
-        self.pbar = pbar_ext[:, :, : trunc.nk]
-        self.hbar = legendre_derivative(self.mu, pbar_ext)
-        self._wp = (self.weights[:, None, None] / 2.0) * self.pbar
-        self._wh = (self.weights[:, None, None] / 2.0) * self.hbar
+        pbar = pbar_ext[:, :, : trunc.nk]
+        hbar = legendre_derivative(self.mu, pbar_ext)
+        self._wp = ((self.weights[:, None, None] / 2.0) * pbar).astype(fdt, copy=False)
+        self._wh = ((self.weights[:, None, None] / 2.0) * hbar).astype(fdt, copy=False)
+        self.pbar = pbar.astype(fdt, copy=False)
+        self.hbar = hbar.astype(fdt, copy=False)
+        self.coslat = np.cos(self.lats).astype(fdt, copy=False)
         self._mask = trunc.mask()
-        self._n = trunc.n_values().astype(float)
-        self._m = np.arange(trunc.nm, dtype=float)[:, None] * np.ones_like(self._n)
-        self._lap = -self._n * (self._n + 1.0) / radius**2
+        n64 = trunc.n_values().astype(np.float64)
+        m64 = np.arange(trunc.nm, dtype=np.float64)[:, None] * np.ones_like(n64)
+        lap64 = -n64 * (n64 + 1.0) / radius**2
         with np.errstate(divide="ignore"):
-            inv = np.where(self._lap != 0.0, 1.0 / self._lap, 0.0)
-        self._invlap = inv
+            inv64 = np.where(lap64 != 0.0, 1.0 / lap64, 0.0)
+        self._n = n64.astype(fdt, copy=False)
+        self._m = m64.astype(fdt, copy=False)
+        self._im = (1j * m64).astype(cdt, copy=False)
+        self._lap = lap64.astype(fdt, copy=False)
+        self._invlap = inv64.astype(fdt, copy=False)
+        self._rcos = (radius * np.cos(self.lats)).astype(fdt, copy=False)[:, None]
 
     # ------------------------------------------------------------------
     @property
@@ -218,21 +231,34 @@ class SpectralTransform:
 
     def _inverse_fourier(self, fm: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`_fourier`: (nlat, nm) complex -> (nlat, nlon) real."""
-        full = np.zeros(fm.shape[:-1] + (self.nlon // 2 + 1,), dtype=complex)
+        ws = get_workspace()
+        full = ws.zeros("spectral.ifft_pad",
+                        fm.shape[:-1] + (self.nlon // 2 + 1,), fm.dtype)
         full[..., : self.trunc.nm] = fm
-        return np.fft.irfft(full * self.nlon, n=self.nlon, axis=-1)
+        full *= self.nlon
+        return np.fft.irfft(full, n=self.nlon, axis=-1)
 
     @profiled("spectral.analyze")
     def analyze(self, grid: np.ndarray) -> np.ndarray:
         """Grid (nlat, nlon) -> spectral coefficients (nm, nk), complex."""
         fm = self._fourier(grid)
-        spec = np.einsum("jm,jmk->mk", fm, self._wp)
+        ws = get_workspace()
+        spec = np.einsum("jm,jmk->mk", fm, self._wp,
+                         out=ws.empty("spectral.analyze.spec", self.spec_shape,
+                                      np.result_type(fm, self._wp)))
         return spec * self._mask
 
     @profiled("spectral.synthesize")
     def synthesize(self, spec: np.ndarray) -> np.ndarray:
         """Spectral (nm, nk) -> grid (nlat, nlon), real."""
-        fm = np.einsum("mk,jmk->jm", spec * self._mask, self.pbar)
+        ws = get_workspace()
+        masked = np.multiply(spec, self._mask,
+                             out=ws.empty("spectral.synth.masked",
+                                          spec.shape, spec.dtype))
+        fm = np.einsum("mk,jmk->jm", masked, self.pbar,
+                       out=ws.empty("spectral.synth.fm",
+                                    (self.nlat, self.trunc.nm),
+                                    np.result_type(spec, self.pbar)))
         return self._inverse_fourier(fm)
 
     # ------------------------------------------------------------------
@@ -248,7 +274,7 @@ class SpectralTransform:
 
     def ddlambda(self, spec: np.ndarray) -> np.ndarray:
         """Zonal derivative d/dlambda (multiply by i m)."""
-        return spec * (1j * self._m)
+        return spec * self._im
 
     # ------------------------------------------------------------------
     # wind <-> vorticity/divergence (Bourke form)
@@ -261,13 +287,33 @@ class SpectralTransform:
         Solves psi = del^-2 zeta, chi = del^-2 D, then
         U = u cos(lat) = (im chi Pbar - psi H)/a summed over n, likewise V.
         """
-        psi = self.inverse_laplacian(vort_spec)
-        chi = self.inverse_laplacian(div_spec)
-        im = 1j * self._m
-        u_fm = (np.einsum("mk,jmk->jm", (im * chi) * self._mask, self.pbar)
-                - np.einsum("mk,jmk->jm", psi * self._mask, self.hbar)) / self.radius
-        v_fm = (np.einsum("mk,jmk->jm", (im * psi) * self._mask, self.pbar)
-                + np.einsum("mk,jmk->jm", chi * self._mask, self.hbar)) / self.radius
+        ws = get_workspace()
+        sdt = np.result_type(vort_spec, self._invlap)
+        shape = vort_spec.shape
+        psi = np.multiply(vort_spec, self._invlap,
+                          out=ws.empty("spectral.uv.psi", shape, sdt))
+        chi = np.multiply(div_spec, self._invlap,
+                          out=ws.empty("spectral.uv.chi", shape, sdt))
+        t1 = np.multiply(self._im, chi, out=ws.empty("spectral.uv.t1", shape, sdt))
+        t1 = np.multiply(t1, self._mask, out=t1)
+        t2 = np.multiply(psi, self._mask, out=ws.empty("spectral.uv.t2", shape, sdt))
+        fm_shape = (self.nlat, self.trunc.nm)
+        fdt = np.result_type(sdt, self.pbar)
+        e1 = np.einsum("mk,jmk->jm", t1, self.pbar,
+                       out=ws.empty("spectral.uv.ufm", fm_shape, fdt))
+        e2 = np.einsum("mk,jmk->jm", t2, self.hbar,
+                       out=ws.empty("spectral.uv.e2", fm_shape, fdt))
+        u_fm = np.subtract(e1, e2, out=e1)
+        u_fm /= self.radius
+        t1 = np.multiply(self._im, psi, out=t1)
+        t1 = np.multiply(t1, self._mask, out=t1)
+        t2 = np.multiply(chi, self._mask, out=t2)
+        e3 = np.einsum("mk,jmk->jm", t1, self.pbar,
+                       out=ws.empty("spectral.uv.vfm", fm_shape, fdt))
+        e4 = np.einsum("mk,jmk->jm", t2, self.hbar,
+                       out=ws.empty("spectral.uv.e4", fm_shape, fdt))
+        v_fm = np.add(e3, e4, out=e3)
+        v_fm /= self.radius
         big_u = self._inverse_fourier(u_fm)
         big_v = self._inverse_fourier(v_fm)
         cos = self.coslat[:, None]
@@ -282,15 +328,26 @@ class SpectralTransform:
         D_n^m    = (1/a) sum_j w_j/2 [ im U_m Pbar - V_m H ] / (1-mu^2)
         which never differentiates on the grid (Bourke 1972).
         """
+        ws = get_workspace()
         cos = self.coslat[:, None]
         over_c2 = 1.0 / (cos[:, 0] ** 2)
         u_fm = self._fourier(u * cos) * over_c2[:, None]
         v_fm = self._fourier(v * cos) * over_c2[:, None]
-        im = 1j * self._m
-        vort = (im * np.einsum("jm,jmk->mk", v_fm, self._wp)
-                + np.einsum("jm,jmk->mk", u_fm, self._wh)) / self.radius
-        div = (im * np.einsum("jm,jmk->mk", u_fm, self._wp)
-               - np.einsum("jm,jmk->mk", v_fm, self._wh)) / self.radius
+        sdt = np.result_type(u_fm, self._wp)
+        e1 = np.einsum("jm,jmk->mk", v_fm, self._wp,
+                       out=ws.empty("spectral.vd.e1", self.spec_shape, sdt))
+        e2 = np.einsum("jm,jmk->mk", u_fm, self._wh,
+                       out=ws.empty("spectral.vd.e2", self.spec_shape, sdt))
+        e1 = np.multiply(self._im, e1, out=e1)
+        vort = np.add(e1, e2, out=e1)
+        vort /= self.radius
+        e3 = np.einsum("jm,jmk->mk", u_fm, self._wp,
+                       out=ws.empty("spectral.vd.e3", self.spec_shape, sdt))
+        e4 = np.einsum("jm,jmk->mk", v_fm, self._wh,
+                       out=ws.empty("spectral.vd.e4", self.spec_shape, sdt))
+        e3 = np.multiply(self._im, e3, out=e3)
+        div = np.subtract(e3, e4, out=e3)
+        div /= self.radius
         return vort * self._mask, div * self._mask
 
     def gradient(self, spec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -299,11 +356,21 @@ class SpectralTransform:
         df/dx = (1/(a cos)) df/dlambda,  df/dy = (cos/a) df/dmu; the
         meridional part uses the H functions so no finite differencing occurs.
         """
-        fx_fm = np.einsum("mk,jmk->jm", self.ddlambda(spec) * self._mask, self.pbar)
-        fy_fm = np.einsum("mk,jmk->jm", spec * self._mask, self.hbar)
-        cos = self.coslat[:, None]
-        fx = self._inverse_fourier(fx_fm) / (self.radius * cos)
-        fy = self._inverse_fourier(fy_fm) / (self.radius * cos)
+        ws = get_workspace()
+        t1 = np.multiply(spec, self._im,
+                         out=ws.empty("spectral.grad.t1", spec.shape,
+                                      np.result_type(spec, self._im)))
+        t1 = np.multiply(t1, self._mask, out=t1)
+        t2 = np.multiply(spec, self._mask,
+                         out=ws.empty("spectral.grad.t2", spec.shape, spec.dtype))
+        fm_shape = (self.nlat, self.trunc.nm)
+        fdt = np.result_type(t1, self.pbar)
+        fx_fm = np.einsum("mk,jmk->jm", t1, self.pbar,
+                          out=ws.empty("spectral.grad.fx", fm_shape, fdt))
+        fy_fm = np.einsum("mk,jmk->jm", t2, self.hbar,
+                          out=ws.empty("spectral.grad.fy", fm_shape, fdt))
+        fx = self._inverse_fourier(fx_fm) / self._rcos
+        fy = self._inverse_fourier(fy_fm) / self._rcos
         return fx, fy
 
     def spectral_filter(self, spec: np.ndarray, order: int = 4,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import DTypePolicy, policy_from_name
 from repro.util.constants import KAPPA, RD
 
 
@@ -46,6 +47,7 @@ class VerticalGrid:
 
     sigma_half: np.ndarray
     t_ref: float = 300.0  # isothermal reference temperature for semi-implicit
+    dtype: str | DTypePolicy | None = None
 
     # Derived fields, filled in __post_init__.
     sigma: np.ndarray = field(init=False)
@@ -53,27 +55,38 @@ class VerticalGrid:
     nlev: int = field(init=False)
 
     def __post_init__(self):
-        sh = np.asarray(self.sigma_half, dtype=float)
+        sh = np.asarray(self.sigma_half, dtype=np.float64)
         if sh.ndim != 1 or sh.size < 3:
             raise ValueError("sigma_half must be a 1-D array of >= 3 interface values")
         if not (abs(sh[0]) < 1e-12 and abs(sh[-1] - 1.0) < 1e-12):
             raise ValueError("sigma_half must run from 0 (top) to 1 (surface)")
         if np.any(np.diff(sh) <= 0):
             raise ValueError("sigma_half must be strictly increasing")
-        self.sigma_half = sh
-        self.sigma = 0.5 * (sh[:-1] + sh[1:])          # full levels, top->bottom
-        self.dsigma = np.diff(sh)                       # layer thicknesses
+        # Runtime arrays carry the policy precision; the float64 originals
+        # stay around so the semi-implicit matrices keep solver accuracy.
+        self.policy = policy_from_name(self.dtype)
+        fdt = self.policy.float_dtype
+        self._sh64 = sh
+        self._sigma64 = 0.5 * (sh[:-1] + sh[1:])       # full levels, top->bottom
+        self._dsigma64 = np.diff(sh)                    # layer thicknesses
+        self.sigma_half = sh.astype(fdt, copy=False)
+        self.sigma = self._sigma64.astype(fdt, copy=False)
+        self.dsigma = self._dsigma64.astype(fdt, copy=False)
         self.nlev = self.sigma.size
+        self._g_cache: np.ndarray | None = None
+        self._tau_cache: np.ndarray | None = None
 
     @classmethod
-    def isobaric(cls, nlev: int, t_ref: float = 300.0) -> "VerticalGrid":
+    def isobaric(cls, nlev: int, t_ref: float = 300.0,
+                 dtype: str | DTypePolicy | None = None) -> "VerticalGrid":
         """Evenly spaced sigma layers (mostly for tests)."""
-        return cls(np.linspace(0.0, 1.0, nlev + 1), t_ref=t_ref)
+        return cls(np.linspace(0.0, 1.0, nlev + 1), t_ref=t_ref, dtype=dtype)
 
     @classmethod
-    def ccm_like(cls, nlev: int = 18, t_ref: float = 300.0) -> "VerticalGrid":
+    def ccm_like(cls, nlev: int = 18, t_ref: float = 300.0,
+                 dtype: str | DTypePolicy | None = None) -> "VerticalGrid":
         """The FOAM/CCM2-style stretched grid (paper: 18 levels)."""
-        return cls(default_sigma_levels(nlev), t_ref=t_ref)
+        return cls(default_sigma_levels(nlev), t_ref=t_ref, dtype=dtype)
 
     # ------------------------------------------------------------------
     # level-coupling matrices
@@ -87,16 +100,19 @@ class VerticalGrid:
         levels above it, and R T_l ln(sigma_half[l+1]/sigma[l]) for the
         half-layer between level l and its lower interface.
         """
+        if self._g_cache is not None:
+            return self._g_cache
         L = self.nlev
         G = np.zeros((L, L))
-        sh = self.sigma_half
-        sf = self.sigma
+        sh = self._sh64
+        sf = self._sigma64
         for l in range(L):
             # half-layer from level l down to its lower interface
             G[l, l] = RD * np.log(sh[l + 1] / sf[l])
             # full layers strictly below level l (k = l+1 .. L-1)
             for k in range(l + 1, L):
                 G[l, k] = RD * np.log(sh[k + 1] / sh[k])
+        self._g_cache = G
         return G
 
     def energy_conversion_matrix(self) -> np.ndarray:
@@ -106,19 +122,23 @@ class VerticalGrid:
         + 0.5 dsig_l D_l ], so tau[l,k] = kappa T_ref dsig_k / sigma_l for
         k < l and half that for k = l.
         """
+        if self._tau_cache is not None:
+            return self._tau_cache
         L = self.nlev
         tau = np.zeros((L, L))
         for l in range(L):
-            tau[l, : l] = self.dsigma[: l]
-            tau[l, l] = 0.5 * self.dsigma[l]
-            tau[l] *= KAPPA * self.t_ref / self.sigma[l]
+            tau[l, : l] = self._dsigma64[: l]
+            tau[l, l] = 0.5 * self._dsigma64[l]
+            tau[l] *= KAPPA * self.t_ref / self._sigma64[l]
+        self._tau_cache = tau
         return tau
 
     def semi_implicit_matrix(self) -> np.ndarray:
         """M = G tau + R T_ref (1 x dsig^T): the gravity-wave coupling operator."""
         G = self.hydrostatic_matrix()
         tau = self.energy_conversion_matrix()
-        return G @ tau + RD * self.t_ref * np.outer(np.ones(self.nlev), self.dsigma)
+        return G @ tau + RD * self.t_ref * np.outer(np.ones(self.nlev),
+                                                    self._dsigma64)
 
     def geopotential(self, t_full: np.ndarray, phi_surface: np.ndarray | float = 0.0
                      ) -> np.ndarray:

@@ -1,0 +1,189 @@
+"""Array backend registry: the substrate hot kernels allocate through.
+
+A backend supplies the array module (``xp``) plus the small allocation
+surface the model needs (``empty``/``zeros``/``asarray``/``to_numpy``).
+The default is NumPy and is always available.  Alternate backends
+register a *factory* under a name; the factory runs (and imports its
+dependency) only when the backend is actually selected, so merely having
+``torch``/``cupy`` entries in the registry costs nothing and a missing
+dependency surfaces as a clear :class:`BackendUnavailableError` instead
+of an ImportError at module import time.
+
+Selection: ``get_backend(None)`` honours the ``FOAM_BACKEND``
+environment variable and falls back to ``"numpy"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend", "NumpyBackend", "BackendUnavailableError",
+    "register_backend", "get_backend", "available_backends",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend's dependency is not importable."""
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """What a backend must provide for the model's hot paths."""
+
+    name: str
+
+    @property
+    def xp(self) -> Any:
+        """The array-API module (numpy, cupy, ...)."""
+        ...
+
+    def empty(self, shape, dtype) -> Any: ...
+
+    def zeros(self, shape, dtype) -> Any: ...
+
+    def asarray(self, arr, dtype=None) -> Any: ...
+
+    def to_numpy(self, arr) -> np.ndarray: ...
+
+
+class NumpyBackend:
+    """The default backend: plain NumPy, host memory."""
+
+    name = "numpy"
+
+    @property
+    def xp(self):
+        return np
+
+    def empty(self, shape, dtype):
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def asarray(self, arr, dtype=None):
+        return np.asarray(arr, dtype=dtype)
+
+    def to_numpy(self, arr):
+        return np.asarray(arr)
+
+
+_NUMPY = NumpyBackend()
+
+# name -> factory returning a ready ArrayBackend (may raise
+# BackendUnavailableError).  Factories run per get_backend call for
+# non-default backends; the numpy singleton short-circuits.
+_REGISTRY: dict[str, Callable[[], ArrayBackend]] = {}
+_CACHE: dict[str, ArrayBackend] = {"numpy": _NUMPY}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` (lowercased)."""
+    _REGISTRY[name.lower()] = factory
+    _CACHE.pop(name.lower(), None)
+
+
+def available_backends() -> list[str]:
+    """All registered backend names (available or not)."""
+    return sorted({"numpy", *_REGISTRY})
+
+
+def get_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend by name, honouring ``FOAM_BACKEND`` when None."""
+    if name is not None and not isinstance(name, str):
+        return name
+    if name is None:
+        name = os.environ.get("FOAM_BACKEND", "numpy")
+    key = name.lower()
+    if key in _CACHE:
+        return _CACHE[key]
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered: {available_backends()}"
+        ) from None
+    backend = factory()
+    _CACHE[key] = backend
+    return backend
+
+
+def _torch_factory() -> ArrayBackend:
+    try:
+        import torch  # noqa: F401
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "FOAM_BACKEND=torch requested but torch is not installed; "
+            "install torch or unset FOAM_BACKEND"
+        ) from exc
+
+    class TorchBackend:  # pragma: no cover - requires torch installed
+        name = "torch"
+
+        @property
+        def xp(self):
+            return torch
+
+        def empty(self, shape, dtype):
+            return torch.empty(shape, dtype=self._dt(dtype))
+
+        def zeros(self, shape, dtype):
+            return torch.zeros(shape, dtype=self._dt(dtype))
+
+        def asarray(self, arr, dtype=None):
+            t = torch.as_tensor(np.asarray(arr))
+            return t.to(self._dt(dtype)) if dtype is not None else t
+
+        def to_numpy(self, arr):
+            return arr.detach().cpu().numpy()
+
+        @staticmethod
+        def _dt(dtype):
+            mapping = {
+                np.dtype(np.float32): torch.float32,
+                np.dtype(np.float64): torch.float64,
+                np.dtype(np.complex64): torch.complex64,
+                np.dtype(np.complex128): torch.complex128,
+            }
+            return mapping[np.dtype(dtype)]
+
+    return TorchBackend()
+
+
+def _cupy_factory() -> ArrayBackend:
+    try:
+        import cupy  # noqa: F401
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "FOAM_BACKEND=cupy requested but cupy is not installed; "
+            "install cupy or unset FOAM_BACKEND"
+        ) from exc
+
+    class CupyBackend:  # pragma: no cover - requires cupy installed
+        name = "cupy"
+
+        @property
+        def xp(self):
+            return cupy
+
+        def empty(self, shape, dtype):
+            return cupy.empty(shape, dtype=dtype)
+
+        def zeros(self, shape, dtype):
+            return cupy.zeros(shape, dtype=dtype)
+
+        def asarray(self, arr, dtype=None):
+            return cupy.asarray(arr, dtype=dtype)
+
+        def to_numpy(self, arr):
+            return cupy.asnumpy(arr)
+
+    return CupyBackend()
+
+
+register_backend("torch", _torch_factory)
+register_backend("cupy", _cupy_factory)

@@ -1,0 +1,150 @@
+"""Workspace arena: named, shape/dtype-keyed reusable scratch buffers.
+
+Hot paths call ``ws.empty("ocean.pgx", shape, dtype)`` instead of
+``np.empty(shape)``.  The first request for a (name, shape, dtype) key
+allocates (a *miss*); every later request returns the same buffer (a
+*hit*), so a warmed-up model step performs (near) zero temporary
+allocations.  ``ws.zeros`` refills the reused buffer with ``buf[...] = 0``,
+which is bitwise-identical to a fresh ``np.zeros``.
+
+Usage rules that make reuse safe:
+
+* only scratch that does **not** escape the requesting call lives here —
+  anything stored into model state must stay freshly allocated;
+* every call site uses a unique name, so two live temporaries can never
+  alias the same buffer;
+* the default workspace is **thread-local**: simulated-MPI rank threads
+  run the same kernels concurrently and each gets its own arena.
+
+Counters: ``hits``/``misses`` accumulate per workspace and are also fed
+to the profiler (``profile_count("ws.hits"/"ws.misses")``) so they land
+on whichever profiler section is active — that is how the per-section
+allocation win in ``BENCH_backend.json`` is measured.
+
+``FOAM_WORKSPACE=0`` disables reuse (every request allocates and counts
+as a miss), giving the before/after baseline without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+import numpy as np
+
+__all__ = [
+    "Workspace", "get_workspace", "workspace_enabled",
+    "workspace_totals", "reset_workspaces",
+]
+
+
+def workspace_enabled() -> bool:
+    """Whether buffer reuse is on (``FOAM_WORKSPACE=0`` turns it off)."""
+    return os.environ.get("FOAM_WORKSPACE", "1").lower() not in ("0", "off", "false")
+
+
+_profile_count = None
+
+
+def _count(name: str) -> None:
+    """Forward a counter to the profiler, importing it lazily.
+
+    ``repro.perf`` imports modules that themselves use workspaces, so a
+    module-level import here would be circular; the first actual counter
+    event resolves it instead (by then everything is loaded).
+    """
+    global _profile_count
+    if _profile_count is None:
+        from repro.perf.profiler import profile_count
+        _profile_count = profile_count
+    _profile_count(name)
+
+
+# Every workspace ever handed out, for aggregate reporting.
+_registry: "weakref.WeakSet[Workspace]" = weakref.WeakSet()
+_registry_lock = threading.Lock()
+
+
+class Workspace:
+    """A keyed arena of reusable buffers with hit/miss accounting."""
+
+    __slots__ = ("_buffers", "hits", "misses", "__weakref__")
+
+    def __init__(self):
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        with _registry_lock:
+            _registry.add(self)
+
+    def empty(self, name: str, shape, dtype) -> np.ndarray:
+        """An uninitialised buffer for ``name`` (contents are stale on a hit)."""
+        shape = (shape,) if np.isscalar(shape) else tuple(shape)
+        key = (name, shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None or not workspace_enabled():
+            self.misses += 1
+            _count("ws.misses")
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        else:
+            self.hits += 1
+            _count("ws.hits")
+        return buf
+
+    def zeros(self, name: str, shape, dtype) -> np.ndarray:
+        """A zero-filled buffer (refill of a reused buffer ≡ fresh np.zeros)."""
+        buf = self.empty(name, shape, dtype)
+        buf[...] = 0
+        return buf
+
+    def empty_like(self, name: str, arr: np.ndarray) -> np.ndarray:
+        return self.empty(name, arr.shape, arr.dtype)
+
+    def zeros_like(self, name: str, arr: np.ndarray) -> np.ndarray:
+        return self.zeros(name, arr.shape, arr.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop all buffers and zero the counters."""
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_local = threading.local()
+
+
+def get_workspace() -> Workspace:
+    """This thread's workspace (each simmpi rank thread gets its own)."""
+    ws = getattr(_local, "ws", None)
+    if ws is None:
+        ws = _local.ws = Workspace()
+    return ws
+
+
+def workspace_totals() -> dict[str, int]:
+    """Aggregate hit/miss/buffer/byte counts across all live workspaces."""
+    with _registry_lock:
+        workspaces = list(_registry)
+    return {
+        "hits": sum(w.hits for w in workspaces),
+        "misses": sum(w.misses for w in workspaces),
+        "buffers": sum(len(w) for w in workspaces),
+        "nbytes": sum(w.nbytes for w in workspaces),
+    }
+
+
+def reset_workspaces() -> None:
+    """Clear every live workspace (buffers and counters)."""
+    with _registry_lock:
+        workspaces = list(_registry)
+    for w in workspaces:
+        w.clear()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend import DTypePolicy, get_backend, policy_from_name
 from repro.ocean.model import OceanParams
 from repro.util.constants import SECONDS_PER_DAY
 
@@ -40,6 +41,19 @@ class FoamConfig:
 
     # Numerics / reproducibility.
     seed: int = 0
+    # Array-backend knobs: None defers to FOAM_DTYPE / FOAM_BACKEND (and
+    # their float64 / numpy defaults).
+    dtype: str | None = None
+    backend: str | None = None
+
+    @property
+    def dtype_policy(self) -> DTypePolicy:
+        """The resolved precision policy threaded into every component grid."""
+        return policy_from_name(self.dtype)
+
+    def array_backend(self):
+        """The resolved array backend (raises if an optional one is absent)."""
+        return get_backend(self.backend)
 
     def __post_init__(self):
         if self.ocean_coupling_interval % self.atm_dt != 0:

@@ -74,30 +74,35 @@ class FoamModel:
         self.config = config or test_config()
         cfg = self.config
 
+        # One precision policy threads through every component constructor.
+        policy = cfg.dtype_policy
+        self.policy = policy
         self.transform = SpectralTransform(cfg.atm_nlat, cfg.atm_nlon,
-                                           Truncation(cfg.atm_mmax))
-        self.vgrid = VerticalGrid.ccm_like(cfg.atm_nlev)
+                                           Truncation(cfg.atm_mmax),
+                                           dtype=policy)
+        self.vgrid = VerticalGrid.ccm_like(cfg.atm_nlev, dtype=policy)
         self.dycore = SpectralDynamicalCore(self.transform, self.vgrid,
                                             dt=cfg.atm_dt,
                                             robert=cfg.robert_filter)
         self.physics = PhysicsSuite(radiation_interval=cfg.radiation_interval)
 
         self.ocean_grid = OceanGrid(nx=cfg.ocn_nx, ny=cfg.ocn_ny,
-                                    nlev=cfg.ocn_nlev)
+                                    nlev=cfg.ocn_nlev, dtype=policy)
         if land_mask is None or depth is None:
             land_mask, depth = world_topography(self.ocean_grid)
         self.ocean = OceanModel(self.ocean_grid, land_mask, depth,
                                 cfg.ocean_params)
         self.coupler = FluxCoupler(self.transform.lats, cfg.atm_nlon,
                                    self.ocean_grid.lats, cfg.ocn_nx,
-                                   land_mask, rng_seed=cfg.seed + 7)
+                                   land_mask, rng_seed=cfg.seed + 7,
+                                   dtype=policy)
         # Running ocean-forcing accumulator between ocean calls.
         self._reset_ocean_accumulator()
 
     # ------------------------------------------------------------------
     def _reset_ocean_accumulator(self) -> None:
         ny, nx = self.ocean_grid.ny, self.ocean_grid.nx
-        self._acc = OceanForcing.zeros(ny, nx)
+        self._acc = OceanForcing.zeros(ny, nx, dtype=self.policy.float_dtype)
         self._acc_steps = 0
 
     def initial_state(self, seed: int | None = None) -> FoamState:
@@ -114,7 +119,7 @@ class FoamModel:
         rh_profile = 0.6 * self.vgrid.sigma[:, None, None] ** 2
         atm.q = np.minimum(
             rh_profile * saturation_mixing_ratio(diag.temp, diag.pressure),
-            0.025)
+            0.025).astype(self.policy.float_dtype, copy=False)
         ocn = self.ocean.initial_state()
         cpl = self.coupler.initial_state()
         prev = atm

@@ -34,6 +34,7 @@ from repro.atmosphere.physics.surface_flux import (
     bulk_fluxes,
     ocean_fluxes,
 )
+from repro.backend import DTypePolicy, get_workspace, policy_from_name
 from repro.coupler.hydrology import HydrologyState, step_hydrology, wetness_factor
 from repro.coupler.land import LandModel, LandState, soil_types_from_latitude
 from repro.coupler.overlap import OverlapGrid
@@ -82,11 +83,13 @@ class FluxCoupler:
                  ocn_lats: np.ndarray, ocn_nlon: int,
                  ocn_land_mask: np.ndarray,
                  flux_params: SurfaceFluxParams = SurfaceFluxParams(),
-                 rng_seed: int = 7):
+                 rng_seed: int = 7,
+                 dtype: str | DTypePolicy | None = None):
         self.overlap = OverlapGrid(atm_lats, atm_nlon, ocn_lats, ocn_nlon)
         self.atm_nlat = len(atm_lats)
         self.atm_nlon = atm_nlon
         self.flux_params = flux_params
+        self.policy = policy_from_name(dtype)
 
         # Ocean-fraction of every atmosphere cell, from the exact overlap
         # areas: the honest way to make a land mask for the coarse grid.
@@ -105,7 +108,8 @@ class FluxCoupler:
         dlon = 2 * np.pi / atm_nlon
         areas = (EARTH_RADIUS**2 * np.cos(atm_lats) * dlat * dlon)[:, None] \
             * np.ones((1, atm_nlon))
-        self.atm_cell_areas = np.abs(areas)
+        self.atm_cell_areas = np.abs(areas).astype(self.policy.float_dtype,
+                                                   copy=False)
         spacing = EARTH_RADIUS * np.abs(dlat)
         self.river = RiverModel(self.atm_land_mask, self.atm_cell_areas,
                                 spacing, rng_seed=rng_seed)
@@ -214,7 +218,7 @@ class FluxCoupler:
         # only from its water cells.
         taux_ov, tauy_ov = SeaIceModel.stress_to_ocean(
             fluxes_ov["taux"], fluxes_ov["tauy"], ice_ov)
-        zero = np.zeros_like(taux_ov)
+        zero = get_workspace().zeros_like("coupler.zero_ov", taux_ov)
         ocn_taux = ov.to_ocn(np.where(water, taux_ov, zero))
         ocn_tauy = ov.to_ocn(np.where(water, tauy_ov, zero))
         turb_loss_ov = np.where(water, fluxes_ov["shf"] + fluxes_ov["lhf"], zero)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_workspace
 from repro.util.constants import EARTH_RADIUS
 
 
@@ -113,19 +114,29 @@ class OverlapGrid:
 
     # ------------------------------------------------------------------
     def _build_weights(self) -> None:
-        """Per-target-cell area normalizations for the averaging passes."""
+        """Per-target-cell area normalizations for the averaging passes.
+
+        The broadcast 2-D scatter indices and the clamped denominators are
+        built once here and reused by every :meth:`to_atm` / :meth:`to_ocn`
+        call — the regrid runs every coupling interval and must not rebuild
+        its index arrays each time.
+        """
+        self._a_idx = (
+            self.a_lat_of[:, None] * np.ones_like(self.a_lon_of[None, :]),
+            np.ones_like(self.a_lat_of[:, None]) * self.a_lon_of[None, :])
         self._atm_area = np.zeros((len(self.atm_lats), self.atm_nlon))
-        np.add.at(self._atm_area,
-                  (self.a_lat_of[:, None] * np.ones_like(self.a_lon_of[None, :]),
-                   np.ones_like(self.a_lat_of[:, None]) * self.a_lon_of[None, :]),
-                  self.areas)
+        np.add.at(self._atm_area, self._a_idx, self.areas)
         valid = self.ocean_valid_mask()
-        self._ocn_area = np.zeros((len(self.ocn_lats), self.ocn_nlon))
+        self._ocn_valid = valid
         o_lat = np.where(self.o_lat_of >= 0, self.o_lat_of, 0)
-        np.add.at(self._ocn_area,
-                  (o_lat[:, None] * np.ones_like(self.o_lon_of[None, :], dtype=int),
-                   np.ones_like(o_lat[:, None], dtype=int) * self.o_lon_of[None, :]),
+        self._o_idx = (
+            o_lat[:, None] * np.ones_like(self.o_lon_of[None, :], dtype=int),
+            np.ones_like(o_lat[:, None], dtype=int) * self.o_lon_of[None, :])
+        self._ocn_area = np.zeros((len(self.ocn_lats), self.ocn_nlon))
+        np.add.at(self._ocn_area, self._o_idx,
                   np.where(valid, self.areas, 0.0))
+        self._atm_area_safe = np.maximum(self._atm_area, 1e-30)
+        self._ocn_area_safe = np.maximum(self._ocn_area, 1e-30)
 
     def ocean_valid_mask(self) -> np.ndarray:
         """(nlat, nlon) overlap cells that lie inside the ocean grid's span."""
@@ -149,23 +160,23 @@ class OverlapGrid:
     # ------------------------------------------------------------------
     def to_atm(self, overlap_field: np.ndarray) -> np.ndarray:
         """Area-average the overlap field onto the atmosphere grid."""
-        out = np.zeros((len(self.atm_lats), self.atm_nlon))
-        np.add.at(out,
-                  (self.a_lat_of[:, None] * np.ones_like(self.a_lon_of[None, :]),
-                   np.ones_like(self.a_lat_of[:, None]) * self.a_lon_of[None, :]),
-                  overlap_field * self.areas)
-        return out / np.maximum(self._atm_area, 1e-30)
+        ws = get_workspace()
+        out = ws.zeros("overlap.to_atm",
+                       (len(self.atm_lats), self.atm_nlon), np.float64)
+        weighted = np.multiply(overlap_field, self.areas,
+                               out=ws.empty_like("overlap.weighted", self.areas))
+        np.add.at(out, self._a_idx, weighted)
+        return out / self._atm_area_safe
 
     def to_ocn(self, overlap_field: np.ndarray) -> np.ndarray:
         """Area-average the overlap field onto the ocean grid."""
-        out = np.zeros((len(self.ocn_lats), self.ocn_nlon))
-        valid = self.ocean_valid_mask()
-        o_lat = np.where(self.o_lat_of >= 0, self.o_lat_of, 0)
-        np.add.at(out,
-                  (o_lat[:, None] * np.ones_like(self.o_lon_of[None, :], dtype=int),
-                   np.ones_like(o_lat[:, None], dtype=int) * self.o_lon_of[None, :]),
-                  np.where(valid, overlap_field * self.areas, 0.0))
-        return out / np.maximum(self._ocn_area, 1e-30)
+        ws = get_workspace()
+        out = ws.zeros("overlap.to_ocn",
+                       (len(self.ocn_lats), self.ocn_nlon), np.float64)
+        weighted = np.multiply(overlap_field, self.areas,
+                               out=ws.empty_like("overlap.weighted", self.areas))
+        np.add.at(out, self._o_idx, np.where(self._ocn_valid, weighted, 0.0))
+        return out / self._ocn_area_safe
 
     # ------------------------------------------------------------------
     def integrate(self, overlap_field: np.ndarray) -> float:

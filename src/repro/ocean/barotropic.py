@@ -63,7 +63,8 @@ class BarotropicSolver:
     def __init__(self, grid: OceanGrid, depth: np.ndarray, mask: np.ndarray,
                  params: BarotropicParams = BarotropicParams()):
         self.grid = grid
-        self.depth = np.where(mask, np.maximum(depth, 10.0), 0.0)
+        self.depth = np.where(mask, np.maximum(depth, 10.0),
+                              0.0).astype(grid.policy.float_dtype, copy=False)
         self.mask = mask
         self.params = params
         c = np.sqrt(GRAVITY * max(self.depth.max(), 1.0)) * params.slow_factor
@@ -92,6 +93,9 @@ class BarotropicSolver:
         drag = self.params.bottom_drag
         m = self.mask
         f = self.grid.f
+        # The rotation factors are constant across the subcycle; hoist them.
+        cosf = np.cos(f * dt_slow)
+        sinf = np.sin(f * dt_slow)
         for _ in range(n):
             # Forward step of the surface (flux form: globally conservative).
             div = flux_divergence(self.depth * ubar, self.depth * vbar,
@@ -103,8 +107,6 @@ class BarotropicSolver:
             detax = ddx(eta, self.grid.dx, m)
             detay = ddy(eta, self.grid.dy, m)
             # Exact Coriolis rotation keeps the (slowed) inertial mode neutral.
-            cosf = np.cos(f * dt_slow)
-            sinf = np.sin(f * dt_slow)
             u_rot = ubar * cosf + vbar * sinf
             v_rot = -ubar * sinf + vbar * cosf
             # Wave dynamics and forcing run in slowed time; bottom friction

@@ -22,17 +22,26 @@ BETA = 0.76      # kg m^-3 psu^-1 haline contraction
 GAMMA_Z = 4.5e-5  # kg m^-3 per m: pressure (depth) effect on in-situ density
 
 
+def _asfloat(x) -> np.ndarray:
+    """Floating coercion that preserves float32 instead of forcing float64."""
+    arr = np.asarray(x)
+    return arr if arr.dtype.kind == "f" else arr.astype(np.float64)
+
+
 def density_anomaly(temp_c: np.ndarray, salt: np.ndarray,
                     depth_m: np.ndarray | float = 0.0) -> np.ndarray:
     """In-situ density minus RHO_SEAWATER (kg m^-3).
 
     ``temp_c`` in Celsius, ``salt`` in psu, ``depth_m`` positive downward.
     """
-    t = np.asarray(temp_c, dtype=float)
-    s = np.asarray(salt, dtype=float)
+    t = _asfloat(temp_c)
+    s = _asfloat(salt)
     dt = t - T0
+    # Scalar depths stay python floats: a 0-d float64 array would promote
+    # the whole expression and silently upcast float32 fields.
+    depth = depth_m if np.isscalar(depth_m) else _asfloat(depth_m)
     return (-ALPHA0 * dt - 0.5 * ALPHA_T * dt * dt
-            + BETA * (s - S0) + GAMMA_Z * np.asarray(depth_m, dtype=float))
+            + BETA * (s - S0) + GAMMA_Z * depth)
 
 
 def density(temp_c, salt, depth_m=0.0) -> np.ndarray:
@@ -42,7 +51,7 @@ def density(temp_c, salt, depth_m=0.0) -> np.ndarray:
 
 def thermal_expansion(temp_c) -> np.ndarray:
     """-d(rho)/dT (kg m^-3 K^-1), increasing with temperature."""
-    return ALPHA0 + ALPHA_T * (np.asarray(temp_c, dtype=float) - T0)
+    return ALPHA0 + ALPHA_T * (_asfloat(temp_c) - T0)
 
 
 def buoyancy_frequency_sq(temp_c: np.ndarray, salt: np.ndarray,

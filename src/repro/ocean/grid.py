@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import DTypePolicy, policy_from_name
 from repro.util.constants import EARTH_RADIUS, OMEGA
 
 
@@ -71,6 +72,7 @@ class OceanGrid:
     nlev: int = 16
     lat_max_deg: float = 72.0
     total_depth: float = 5000.0
+    dtype: str | DTypePolicy | None = None
 
     lats: np.ndarray = field(init=False)       # (ny,), radians
     lons: np.ndarray = field(init=False)       # (nx,), radians
@@ -84,17 +86,23 @@ class OceanGrid:
     def __post_init__(self):
         if self.nx < 4:
             raise ValueError(f"nx must be >= 4, got {self.nx}")
+        # Coordinates stay float64 (they drive mask/topography decisions);
+        # metric and stratification arrays that enter the stepping kernels
+        # carry the policy precision.
+        self.policy = policy_from_name(self.dtype)
+        fdt = self.policy.float_dtype
         self.lats = mercator_latitudes(self.ny, self.lat_max_deg)
         self.lons = 2.0 * np.pi * np.arange(self.nx) / self.nx
         dlon = 2.0 * np.pi / self.nx
-        self.dx = EARTH_RADIUS * np.cos(self.lats) * dlon
+        self.dx = (EARTH_RADIUS * np.cos(self.lats) * dlon).astype(fdt, copy=False)
         # Mercator: dy = dx exactly on this mesh; store row spacing from lats.
         dlat = np.gradient(self.lats)
-        self.dy = EARTH_RADIUS * dlat
-        self.z_half = stretched_depths(self.nlev, self.total_depth)
-        self.z_full = 0.5 * (self.z_half[:-1] + self.z_half[1:])
-        self.dz = np.diff(self.z_half)
-        self.f = (2.0 * OMEGA * np.sin(self.lats))[:, None]
+        self.dy = (EARTH_RADIUS * dlat).astype(fdt, copy=False)
+        z_half64 = stretched_depths(self.nlev, self.total_depth)
+        self.z_half = z_half64.astype(fdt, copy=False)
+        self.z_full = (0.5 * (z_half64[:-1] + z_half64[1:])).astype(fdt, copy=False)
+        self.dz = np.diff(z_half64).astype(fdt, copy=False)
+        self.f = (2.0 * OMEGA * np.sin(self.lats))[:, None].astype(fdt, copy=False)
 
     @property
     def lat_degrees(self) -> np.ndarray:

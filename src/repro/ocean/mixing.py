@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import get_workspace
+
 
 @dataclass(frozen=True)
 class PPMixingParams:
@@ -70,11 +72,13 @@ def mix_column_implicit(field: np.ndarray, kappa_half: np.ndarray,
     L = field.shape[0]
     dzf = dz.reshape((-1,) + (1,) * (field.ndim - 1))
     dzh = 0.5 * (dzf[:-1] + dzf[1:])
-    a = np.zeros_like(field)
-    c = np.zeros_like(field)
+    ws = get_workspace()
+    a = ws.zeros_like("mix.a", field)
+    c = ws.zeros_like("mix.c", field)
     a[1:] = -dt * kappa_half / (dzf[1:] * dzh)
     c[:-1] = -dt * kappa_half / (dzf[:-1] * dzh)
-    b = 1.0 - a - c
+    b = np.subtract(1.0, a, out=ws.empty_like("mix.b", field))
+    b -= c
     rhs = field.copy()
     if surface_flux is not None:
         rhs[0] = rhs[0] + dt * surface_flux / dzf[0]

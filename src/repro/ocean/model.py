@@ -44,6 +44,7 @@ from repro.ocean.operators import (
     ddy,
     flux_divergence,
 )
+from repro.backend import get_workspace
 from repro.perf.profiler import profile_section
 from repro.util.constants import (
     CP_SEAWATER,
@@ -101,8 +102,8 @@ class OceanForcing:
     freshwater: np.ndarray  # kg m^-2 s^-1, positive = into the ocean (P - E + R)
 
     @classmethod
-    def zeros(cls, ny: int, nx: int) -> "OceanForcing":
-        z = np.zeros((ny, nx))
+    def zeros(cls, ny: int, nx: int, dtype=np.float64) -> "OceanForcing":
+        z = np.zeros((ny, nx), dtype=dtype)
         return cls(z.copy(), z.copy(), z.copy(), z.copy())
 
 
@@ -115,16 +116,20 @@ class OceanModel:
                  params: OceanParams | None = None):
         self.grid = grid
         self.params = params or OceanParams()
+        self.policy = grid.policy
+        fdt = self.policy.float_dtype
         if land_mask is None or depth is None:
             land_mask, depth = world_topography(grid)
         self.land = land_mask
         self.mask2d = ~land_mask
-        self.depth = np.where(self.mask2d, depth, 0.0)
+        self.depth = np.where(self.mask2d, depth, 0.0).astype(fdt, copy=False)
         # 3-D mask: level k active where the column is deep enough.
         self.mask3d = (grid.z_full[:, None, None] < self.depth[None]) & self.mask2d[None]
         # Active thickness per column (for depth means).
-        self.dz3d = np.where(self.mask3d, grid.dz[:, None, None], 0.0)
-        self.coldepth = np.maximum(self.dz3d.sum(axis=0), 1e-9)
+        self.dz3d = np.where(self.mask3d, grid.dz[:, None, None],
+                             0.0).astype(fdt, copy=False)
+        self.coldepth = np.maximum(self.dz3d.sum(axis=0),
+                                   1e-9).astype(fdt, copy=False)
         self.baro = BarotropicSolver(grid, self.depth, self.mask2d,
                                      self.params.barotropic)
         # del^4 coefficient per latitude row, scaled to the local grid size so
@@ -135,10 +140,18 @@ class OceanModel:
         if self.params.biharmonic_coeff is None:
             self.a4 = (0.008 * dloc**4 / self.params.dt_long)[:, None]
         else:
-            self.a4 = np.full((grid.ny, 1), self.params.biharmonic_coeff)
+            self.a4 = np.full((grid.ny, 1), self.params.biharmonic_coeff,
+                              dtype=fdt)
+        self.a4 = self.a4.astype(fdt, copy=False)
         # Harmonic (Laplacian) viscosity on momentum, also row-scaled; this is
         # the usual O(10^4) m^2/s eddy viscosity a ~2 degree ocean needs.
-        self.a2 = (0.02 * dloc**2 / self.params.dt_long)[:, None]
+        self.a2 = (0.02 * dloc**2 / self.params.dt_long)[:, None].astype(
+            fdt, copy=False)
+        # Coriolis rotation factors for the internal substep, rebuilt only
+        # when the substep length changes.
+        self._rot_dt: float | None = None
+        self._cosf: np.ndarray | None = None
+        self._sinf: np.ndarray | None = None
         self.op_count = 0   # crude operation counter for the cost model
 
     # ------------------------------------------------------------------
@@ -155,10 +168,11 @@ class OceanModel:
         salt = np.full(shape, self.params.reference_salinity)
         # Subtropical salty surface lens.
         salt[0] += 0.8 * np.exp(-((np.degrees(lat) ** 2 - 25.0**2) / 900.0) ** 2)
-        temp = np.where(self.mask3d, temp, 0.0)
-        salt = np.where(self.mask3d, salt, 0.0)
-        z2 = np.zeros((g.ny, g.nx))
-        zero3 = np.zeros(shape)
+        fdt = self.policy.float_dtype
+        temp = np.where(self.mask3d, temp, 0.0).astype(fdt, copy=False)
+        salt = np.where(self.mask3d, salt, 0.0).astype(fdt, copy=False)
+        z2 = np.zeros((g.ny, g.nx), dtype=fdt)
+        zero3 = np.zeros(shape, dtype=fdt)
         if kind == "rest_stratified":
             return OceanState(zero3.copy(), zero3.copy(), temp, salt,
                               z2.copy(), z2.copy(), z2.copy())
@@ -189,12 +203,17 @@ class OceanModel:
         wdz = rho * g.dz[:, None, None]
         p_above = np.cumsum(wdz, axis=0) - wdz          # full layers above
         p = GRAVITY * (p_above + 0.5 * wdz)
-        pgx = np.empty_like(p)
-        pgy = np.empty_like(p)
+        ws = get_workspace()
+        pgx = ws.empty_like("ocean.pgx", p)
+        pgy = ws.empty_like("ocean.pgy", p)
         for k in range(g.nlev):
             pgx[k] = ddx(p[k], g.dx, self.mask3d[k], centered_only=True)
             pgy[k] = ddy(p[k], g.dy, self.mask3d[k], centered_only=True)
-        return -pgx / RHO_SEAWATER, -pgy / RHO_SEAWATER
+        np.negative(pgx, out=pgx)
+        pgx /= RHO_SEAWATER
+        np.negative(pgy, out=pgy)
+        pgy /= RHO_SEAWATER
+        return pgx, pgy
 
     def vertical_velocity(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """w at layer *tops* (positive up), from discrete continuity, w=0 at bottom.
@@ -203,14 +222,17 @@ class OceanModel:
         constant tracer is exactly preserved.
         """
         g = self.grid
-        div = np.empty_like(u)
+        ws = get_workspace()
+        div = ws.empty_like("ocean.div", u)
         for k in range(g.nlev):
             div[k] = flux_divergence(u[k], v[k], g.dx, g.dy, self.mask3d[k])
         # integrate from the bottom: w_top(k) = w_top(k+1) - dz_k div_k
-        w_top = np.zeros_like(u)
-        acc = np.zeros_like(u[0])
+        # (w_top is a workspace buffer: each internal substep consumes it
+        # fully before the next call refills it).
+        w_top = ws.empty_like("ocean.w_top", u)
+        acc = ws.zeros_like("ocean.w_acc", u[0])
         for k in range(g.nlev - 1, -1, -1):
-            acc = acc - g.dz[k] * div[k]
+            acc -= g.dz[k] * div[k]
             w_top[k] = acc
         return w_top
 
@@ -250,7 +272,7 @@ class OceanModel:
         grad = np.where(open_if, grad, 0.0)
         # w dC/dz = -w dC/d(depth); average the two interface contributions.
         contrib = w_top[1:] * grad                        # at interfaces
-        tend = np.zeros_like(tracer)
+        tend = get_workspace().zeros_like("ocean.adv_tend", tracer)
         tend[:-1] += 0.5 * contrib
         tend[1:] += 0.5 * contrib
         return np.where(self.mask3d, tend, 0.0)
@@ -358,10 +380,15 @@ class OceanModel:
         # Forward-backward pairing: density (via vertical advection of the
         # stratification) first, then the pressure gradient from the *new*
         # density — the neutral integration of the internal-wave loop.
-        gx_acc = np.zeros((g.ny, g.nx))
-        gy_acc = np.zeros((g.ny, g.nx))
-        cosf = np.cos(g.f * dt_int)[None]
-        sinf = np.sin(g.f * dt_int)[None]
+        ws = get_workspace()
+        fdt = self.policy.float_dtype
+        gx_acc = ws.zeros("ocean.gx_acc", (g.ny, g.nx), fdt)
+        gy_acc = ws.zeros("ocean.gy_acc", (g.ny, g.nx), fdt)
+        if self._rot_dt != dt_int:
+            self._rot_dt = dt_int
+            self._cosf = np.cos(g.f * dt_int)[None]
+            self._sinf = np.sin(g.f * dt_int)[None]
+        cosf, sinf = self._cosf, self._sinf
         with profile_section("baroclinic"):
             for _ in range(p.n_internal):
                 w_top = self.vertical_velocity(s.u, s.v)

@@ -15,6 +15,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_workspace
+
+
+def _shift_east(name: str, arr: np.ndarray) -> np.ndarray:
+    """np.roll(arr, -1, axis=-1) into a reusable workspace buffer."""
+    out = get_workspace().empty_like(name, arr)
+    out[..., :-1] = arr[..., 1:]
+    out[..., -1] = arr[..., 0]
+    return out
+
+
+def _shift_west(name: str, arr: np.ndarray) -> np.ndarray:
+    """np.roll(arr, 1, axis=-1) into a reusable workspace buffer."""
+    out = get_workspace().empty_like(name, arr)
+    out[..., 1:] = arr[..., :-1]
+    out[..., 0] = arr[..., -1]
+    return out
+
 
 def ddx(field: np.ndarray, dx_row: np.ndarray, mask: np.ndarray,
         centered_only: bool = False) -> np.ndarray:
@@ -26,10 +44,10 @@ def ddx(field: np.ndarray, dx_row: np.ndarray, mask: np.ndarray,
     the full vertical pressure structure into a spurious permanent
     horizontal force (the classic z-coordinate topography PGF error).
     """
-    east = np.roll(field, -1, axis=-1)
-    west = np.roll(field, 1, axis=-1)
-    m_east = np.roll(mask, -1, axis=-1)
-    m_west = np.roll(mask, 1, axis=-1)
+    east = _shift_east("op.ddx.east", field)
+    west = _shift_west("op.ddx.west", field)
+    m_east = _shift_east("op.ddx.m_east", mask)
+    m_west = _shift_west("op.ddx.m_west", mask)
     both = m_east & m_west
     if centered_only:
         d = np.where(both, (east - west) * 0.5, 0.0)
@@ -43,14 +61,15 @@ def ddx(field: np.ndarray, dx_row: np.ndarray, mask: np.ndarray,
 def ddy(field: np.ndarray, dy_row: np.ndarray, mask: np.ndarray,
         centered_only: bool = False) -> np.ndarray:
     """Centered d/dy with wall boundaries at the first/last rows and land."""
-    north = np.empty_like(field)
-    south = np.empty_like(field)
+    ws = get_workspace()
+    north = ws.empty_like("op.ddy.north", field)
+    south = ws.empty_like("op.ddy.south", field)
     north[..., :-1, :] = field[..., 1:, :]
     north[..., -1, :] = field[..., -1, :]
     south[..., 1:, :] = field[..., :-1, :]
     south[..., 0, :] = field[..., 0, :]
-    m_north = np.zeros_like(mask)
-    m_south = np.zeros_like(mask)
+    m_north = ws.zeros_like("op.ddy.m_north", mask)
+    m_south = ws.zeros_like("op.ddy.m_south", mask)
     m_north[..., :-1, :] = mask[..., 1:, :]
     m_south[..., 1:, :] = mask[..., :-1, :]
     both = m_north & m_south
@@ -66,22 +85,22 @@ def ddy(field: np.ndarray, dy_row: np.ndarray, mask: np.ndarray,
 def laplacian(field: np.ndarray, dx_row: np.ndarray, dy_row: np.ndarray,
               mask: np.ndarray) -> np.ndarray:
     """Masked 5-point Laplacian; land neighbours contribute no flux."""
-    out = np.zeros_like(field)
+    ws = get_workspace()
+    out = ws.zeros_like("op.lap.out", field)
     # x direction (periodic)
-    east = np.roll(field, -1, axis=-1)
-    west = np.roll(field, 1, axis=-1)
-    m_east = np.roll(mask, -1, axis=-1)
-    m_west = np.roll(mask, 1, axis=-1)
+    east = _shift_east("op.lap.east", field)
+    west = _shift_west("op.lap.west", field)
+    m_east = _shift_east("op.lap.m_east", mask)
+    m_west = _shift_west("op.lap.m_west", mask)
     fx = (np.where(m_east, east - field, 0.0) + np.where(m_west, west - field, 0.0))
     out += fx / (dx_row[..., :, None] ** 2)
     # y direction (walls)
-    fy = np.zeros_like(field)
-    m_n = np.zeros_like(mask)
-    m_s = np.zeros_like(mask)
+    m_n = ws.zeros_like("op.lap.m_n", mask)
+    m_s = ws.zeros_like("op.lap.m_s", mask)
     m_n[..., :-1, :] = mask[..., 1:, :]
     m_s[..., 1:, :] = mask[..., :-1, :]
-    north = np.empty_like(field)
-    south = np.empty_like(field)
+    north = ws.empty_like("op.lap.north", field)
+    south = ws.empty_like("op.lap.south", field)
     north[..., :-1, :] = field[..., 1:, :]
     north[..., -1, :] = 0.0
     south[..., 1:, :] = field[..., :-1, :]
@@ -124,17 +143,17 @@ def flux_divergence(h_u: np.ndarray, h_v: np.ndarray, dx_row: np.ndarray,
     area = (dx_row * dy_row)[..., :, None]
     # x fluxes at east edges, integrated over the edge length dy (constant
     # along a row, so it factors out of the telescoping sum).
-    he = 0.5 * (h_u + np.roll(h_u, -1, axis=-1))
-    open_e = mu & np.roll(mu, -1, axis=-1)
+    he = 0.5 * (h_u + _shift_east("op.fdiv.hu_e", h_u))
+    open_e = mu & _shift_east("op.fdiv.m_e", mu)
     fe = np.where(open_e, he, 0.0) * dy_row[..., :, None]
-    div_x = (fe - np.roll(fe, 1, axis=-1)) / area
+    div_x = (fe - _shift_west("op.fdiv.fe_w", fe)) / area
     # y fluxes at north edges, integrated over the edge length dx_edge
     # (average of the adjacent rows' dx) so the column sum telescopes exactly.
     dx_edge = 0.5 * (dx_row[:-1] + dx_row[1:])
     hn = 0.5 * (h_v[..., :-1, :] + h_v[..., 1:, :])
     open_n = mu[..., :-1, :] & mu[..., 1:, :]
     fn = np.where(open_n, hn, 0.0) * dx_edge[..., :, None]
-    fy = np.zeros_like(h_v)
+    fy = get_workspace().empty_like("op.fdiv.fy", h_v)
     fy[..., 0, :] = fn[..., 0, :]
     fy[..., 1:-1, :] = fn[..., 1:, :] - fn[..., :-1, :]
     fy[..., -1, :] = -fn[..., -1, :]

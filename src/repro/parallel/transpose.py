@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_workspace
 from repro.parallel.decomp import block_bounds
 from repro.parallel.simmpi import SimComm
 from repro.perf.profiler import profile_section
@@ -46,10 +47,17 @@ def transpose_forward(comm: SimComm, local_rows: np.ndarray, nrows: int, ncols: 
             f"local_rows must be ({rhi - rlo}, {ncols}), got {local_rows.shape}")
     with profile_section("transpose.forward") as sec:
         bytes_before = comm.stats.bytes_sent
+        # Pack into per-destination workspace buffers: the simulated MPI
+        # layer copies payloads on send, so these are free to reuse on the
+        # next call (get_workspace() is thread-local == rank-local).
+        ws = get_workspace()
         sendblocks = []
         for dest in range(comm.size):
             clo, chi = block_bounds(ncols, comm.size, dest)
-            sendblocks.append(np.ascontiguousarray(local_rows[:, clo:chi]))
+            blk = ws.empty(f"tp.fwd.send{dest}",
+                           (rhi - rlo, chi - clo), local_rows.dtype)
+            blk[...] = local_rows[:, clo:chi]
+            sendblocks.append(blk)
         recvblocks = comm.alltoall(sendblocks, op="transpose.forward")
         if sec is not None:
             sec.count("comm_bytes", comm.stats.bytes_sent - bytes_before)
@@ -65,10 +73,14 @@ def transpose_backward(comm: SimComm, local_cols: np.ndarray, nrows: int, ncols:
             f"local_cols must be ({nrows}, {chi - clo}), got {local_cols.shape}")
     with profile_section("transpose.backward") as sec:
         bytes_before = comm.stats.bytes_sent
+        ws = get_workspace()
         sendblocks = []
         for dest in range(comm.size):
             rlo, rhi = block_bounds(nrows, comm.size, dest)
-            sendblocks.append(np.ascontiguousarray(local_cols[rlo:rhi, :]))
+            blk = ws.empty(f"tp.bwd.send{dest}",
+                           (rhi - rlo, chi - clo), local_cols.dtype)
+            blk[...] = local_cols[rlo:rhi, :]
+            sendblocks.append(blk)
         recvblocks = comm.alltoall(sendblocks, op="transpose.backward")
         if sec is not None:
             sec.count("comm_bytes", comm.stats.bytes_sent - bytes_before)

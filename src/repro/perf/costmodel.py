@@ -42,6 +42,7 @@ class AtmosphereCost:
     nlev: int = 18
     mmax: int = 15
     dt: float = 1800.0
+    item_bytes: float = 8.0           # bytes per real value (4 under float32)
 
     @property
     def ncols(self) -> int:
@@ -74,8 +75,9 @@ class AtmosphereCost:
 
     def transpose_bytes(self) -> float:
         """Data moved by the parallel spectral transpose per step (all ranks)."""
-        # Fourier coefficients for all levels, complex double.
-        return 16.0 * self.nlat * (self.mmax + 1) * self.nlev * 2
+        # Fourier coefficients for all levels; complex = two reals.
+        return (2.0 * self.item_bytes) * self.nlat * (self.mmax + 1) \
+            * self.nlev * 2
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,7 @@ class OceanCost:
     n_internal: int = 6
     barotropic_substeps: int = 4      # per internal step, slowed CFL
     dt_long: float = 6 * 3600.0
+    item_bytes: float = 8.0           # bytes per real value (4 under float32)
 
     @property
     def n3(self) -> float:
@@ -125,7 +128,7 @@ class OceanCost:
 
     def halo_bytes(self) -> float:
         """Halo bytes exchanged per long step per rank boundary (approx)."""
-        return 8.0 * 4 * (self.nx + self.ny) * self.nlev
+        return self.item_bytes * 4 * (self.nx + self.ny) * self.nlev
 
 
 @dataclass(frozen=True)
@@ -195,6 +198,7 @@ class MeasuredCosts:
     coupler_seconds: float           # coupler work per atmosphere step
     ocean_call_seconds: float        # one long (coupling-interval) ocean call
     transpose_seconds: float = 0.0   # forward+backward spectral transpose/step
+    item_bytes: float = 8.0          # bytes/real of the profiled run's dtype
     source: str = "profile"
 
     def __post_init__(self):
@@ -250,10 +254,20 @@ def calibrate_from_profile(profile) -> MeasuredCosts:
         if calls:
             transpose_seconds += profile.total_inclusive(label) / calls
 
+    # Precision of the profiled run (recorded by repro.perf.report in the
+    # profile metadata): the event simulator charges communication volumes
+    # proportional to the element size.
+    item_bytes = 8.0
+    meta = getattr(profile, "meta", None) or {}
+    dtype_name = meta.get("dtype")
+    if dtype_name:
+        item_bytes = float(np.dtype(dtype_name).itemsize)
+
     return MeasuredCosts(
         step_seconds=step_seconds,
         radiation_step_seconds=radiation_step_seconds,
         coupler_seconds=coupler_seconds,
         ocean_call_seconds=ocean_call_seconds,
         transpose_seconds=transpose_seconds,
+        item_bytes=item_bytes,
         source=profile.label or "profile")

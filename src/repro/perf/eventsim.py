@@ -110,6 +110,12 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     atm = atm or AtmosphereCost()
     ocn = ocn or OceanCost()
     cpl = cpl or CouplerCost()
+    if measured is not None and measured.item_bytes != atm.item_bytes:
+        # The profiled run's precision sets the communication element size
+        # (e.g. a float32 run halves the analytic transpose/halo volumes).
+        from dataclasses import replace
+        atm = replace(atm, item_bytes=measured.item_bytes)
+        ocn = replace(ocn, item_bytes=measured.item_bytes)
     rng = np.random.default_rng(seed)
 
     nsteps = atm.steps_per_day()

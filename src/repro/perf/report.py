@@ -25,12 +25,18 @@ from repro.perf.profiler import RunProfile, enable_profiling, take_profile
 
 
 def profile_coupled_run(days: float = 1.0, config: str = "test",
-                        seed: int | None = None) -> RunProfile:
+                        seed: int | None = None,
+                        dtype: str | None = None,
+                        backend: str | None = None) -> RunProfile:
     """Run the coupled model for ``days`` with profiling on; return the profile.
 
     ``config`` selects ``repro.core.config``'s ``test``/``small``/``paper``
-    resolution.  Model construction and spin-up state building are *outside*
-    the profiling window; only ``coupled_step`` work is measured.
+    resolution.  ``dtype``/``backend`` pick the array precision/backend
+    (default: the ``FOAM_DTYPE``/``FOAM_BACKEND`` environment policy); the
+    resolved dtype is recorded in the profile metadata so
+    :func:`calibrate_from_profile` can size communication volumes.  Model
+    construction and spin-up state building are *outside* the profiling
+    window; only ``coupled_step`` work is measured.
     """
     # Deferred import: keeps repro.perf importable from the instrumented
     # component modules (repro.core pulls in all of them).
@@ -45,6 +51,11 @@ def profile_coupled_run(days: float = 1.0, config: str = "test",
     cfg = factories[config]()
     if seed is not None:
         cfg.seed = seed
+    if dtype is not None:
+        cfg.dtype = dtype
+    if backend is not None:
+        cfg.backend = backend
+    cfg.array_backend()          # fail fast if the backend is unavailable
     model = FoamModel(cfg)
     state = model.initial_state()
     nsteps = max(1, int(round(days * 86400.0 / cfg.atm_dt)))
@@ -61,7 +72,9 @@ def profile_coupled_run(days: float = 1.0, config: str = "test",
         meta={"config": config, "days": days, "nsteps": nsteps,
               "atm_dt": cfg.atm_dt,
               "atm_grid": [cfg.atm_nlat, cfg.atm_nlon, cfg.atm_nlev],
-              "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev]})
+              "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev],
+              "dtype": cfg.dtype_policy.name,
+              "backend": cfg.array_backend().name})
 
 
 def format_calibration(profile: RunProfile) -> str:
@@ -100,6 +113,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="model resolution (default: test)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the config's RNG seed")
+    parser.add_argument("--dtype", default=None,
+                        choices=("float64", "float32"),
+                        help="array precision (default: FOAM_DTYPE or float64)")
+    parser.add_argument("--backend", default=None,
+                        help="array backend (default: FOAM_BACKEND or numpy)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the RunProfile as JSON to PATH")
     parser.add_argument("--load", metavar="PATH", default=None,
@@ -113,7 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         profile = RunProfile.load(args.load)
     else:
         profile = profile_coupled_run(days=args.days, config=args.config,
-                                      seed=args.seed)
+                                      seed=args.seed, dtype=args.dtype,
+                                      backend=args.backend)
 
     print(profile.format_table(min_fraction=args.min_fraction))
     print()

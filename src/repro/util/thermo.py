@@ -13,19 +13,31 @@ import numpy as np
 from repro.util.constants import CP, EPSILON, KAPPA, LATENT_HEAT_VAP, P0, RD, RV, T_FREEZE
 
 
+def _asfloat(x) -> np.ndarray:
+    """Coerce to a floating array *without* forcing float64.
+
+    ``np.asarray(x, dtype=float)`` silently promoted float32 model fields to
+    float64 inside every thermodynamic call, defeating a reduced-precision
+    run.  This keeps whatever float dtype the caller supplied and only
+    promotes non-float input (ints, lists, python scalars) to float64.
+    """
+    arr = np.asarray(x)
+    return arr if arr.dtype.kind == "f" else arr.astype(np.float64)
+
+
 def saturation_vapor_pressure(temperature):
     """Saturation vapor pressure over liquid water (Pa).
 
     Bolton (1980): e_s = 611.2 exp(17.67 (T - 273.15) / (T - 29.65)).
     """
-    t = np.asarray(temperature, dtype=float)
+    t = _asfloat(temperature)
     return 611.2 * np.exp(17.67 * (t - T_FREEZE) / (t - 29.65))
 
 
 def saturation_mixing_ratio(temperature, pressure):
     """Saturation water-vapor mixing ratio (kg/kg) at temperature (K), pressure (Pa)."""
     es = saturation_vapor_pressure(temperature)
-    p = np.asarray(pressure, dtype=float)
+    p = _asfloat(pressure)
     # Cap e_s below total pressure so the formula stays finite in thin layers.
     es = np.minimum(es, 0.5 * p)
     return EPSILON * es / (p - es)
@@ -33,18 +45,18 @@ def saturation_mixing_ratio(temperature, pressure):
 
 def potential_temperature(temperature, pressure):
     """Potential temperature theta = T (p0/p)^kappa."""
-    return np.asarray(temperature, dtype=float) * (P0 / np.asarray(pressure, dtype=float)) ** KAPPA
+    return _asfloat(temperature) * (P0 / _asfloat(pressure)) ** KAPPA
 
 
 def temperature_from_theta(theta, pressure):
     """Invert potential temperature back to absolute temperature."""
-    return np.asarray(theta, dtype=float) * (np.asarray(pressure, dtype=float) / P0) ** KAPPA
+    return _asfloat(theta) * (_asfloat(pressure) / P0) ** KAPPA
 
 
 def virtual_temperature(temperature, mixing_ratio):
     """Virtual temperature T_v = T (1 + r/eps) / (1 + r) ~ T (1 + 0.608 q)."""
-    q = np.asarray(mixing_ratio, dtype=float)
-    return np.asarray(temperature, dtype=float) * (1.0 + q / EPSILON) / (1.0 + q)
+    q = _asfloat(mixing_ratio)
+    return _asfloat(temperature) * (1.0 + q / EPSILON) / (1.0 + q)
 
 
 def moist_static_energy(temperature, height, mixing_ratio):
@@ -52,20 +64,20 @@ def moist_static_energy(temperature, height, mixing_ratio):
     from repro.util.constants import GRAVITY
 
     return (
-        CP * np.asarray(temperature, dtype=float)
-        + GRAVITY * np.asarray(height, dtype=float)
-        + LATENT_HEAT_VAP * np.asarray(mixing_ratio, dtype=float)
+        CP * _asfloat(temperature)
+        + GRAVITY * _asfloat(height)
+        + LATENT_HEAT_VAP * _asfloat(mixing_ratio)
     )
 
 
 def dewpoint(vapor_pressure):
     """Dewpoint temperature (K) from vapor pressure (Pa); inverse of Bolton."""
-    e = np.maximum(np.asarray(vapor_pressure, dtype=float), 1e-12)
+    e = np.maximum(_asfloat(vapor_pressure), 1e-12)
     ln_ratio = np.log(e / 611.2)
     return (T_FREEZE * 17.67 - 29.65 * ln_ratio) / (17.67 - ln_ratio)
 
 
 def gas_constant_moist(mixing_ratio):
     """Effective gas constant of moist air."""
-    q = np.asarray(mixing_ratio, dtype=float)
+    q = _asfloat(mixing_ratio)
     return RD * (1.0 + q * RV / RD) / (1.0 + q)
