@@ -140,3 +140,88 @@ def test_backend_workspace_day(benchmark):
         ("backend artifact", "BENCH_backend.json", out_path),
     ])
     assert os.path.exists(out_path)
+
+
+def test_backend_legendre_kernel(benchmark):
+    """ISSUE 5 satellite: batched Legendre kernels vs the per-m loop.
+
+    Times the stacked recurrence (``associated_legendre`` +
+    ``legendre_derivative``) against the retained loop oracles at the
+    paper's R15 table size, asserts bitwise agreement, and merges a
+    ``legendre`` entry (speedup + plan-cache stats) into
+    ``BENCH_backend.json`` — creating the file when this bench runs alone.
+    """
+    from repro.atmosphere.spectral import (
+        SpectralTransform,
+        Truncation,
+        _associated_legendre_ref,
+        _legendre_derivative_ref,
+        associated_legendre,
+        clear_legendre_plans,
+        gaussian_latitudes,
+        legendre_derivative,
+        legendre_plan_stats,
+    )
+
+    nlat, mmax, nkmax = 40, 15, 17          # R15 extended table
+    mu, _ = gaussian_latitudes(nlat)
+    repeats = 3 if os.environ.get("FOAM_BENCH_FAST") else 7
+
+    # Bitwise contract first: the batched kernels ARE the loop kernels.
+    pbar_ext = associated_legendre(mu, mmax, nkmax)
+    assert pbar_ext.tobytes() == _associated_legendre_ref(mu, mmax, nkmax).tobytes()
+    assert legendre_derivative(mu, pbar_ext).tobytes() == \
+        _legendre_derivative_ref(mu, pbar_ext).tobytes()
+
+    def _kernels_batched():
+        p = associated_legendre(mu, mmax, nkmax)
+        return legendre_derivative(mu, p)
+
+    def _kernels_loop():
+        p = _associated_legendre_ref(mu, mmax, nkmax)
+        return _legendre_derivative_ref(mu, p)
+
+    def _min_time(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    batched = _min_time(_kernels_batched)
+    benchmark.pedantic(_kernels_batched, rounds=1, iterations=1)
+    loop = _min_time(_kernels_loop)
+    speedup = loop / batched
+
+    # Plan cache: two same-resolution transforms share one build.
+    clear_legendre_plans()
+    SpectralTransform(nlat=nlat, nlon=48, trunc=Truncation(mmax))
+    SpectralTransform(nlat=nlat, nlon=48, trunc=Truncation(mmax))
+    stats = legendre_plan_stats()
+    assert stats["builds"] == 1 and stats["hits"] >= 1
+
+    out_path = os.environ.get("BENCH_BACKEND_PATH", "BENCH_backend.json")
+    payload = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            payload = json.load(fh)
+    payload["legendre"] = {
+        "table": {"nlat": nlat, "mmax": mmax, "nkmax": nkmax},
+        "loop_seconds": loop,
+        "batched_seconds": batched,
+        "speedup": speedup,
+        "plan_cache": stats,
+        "repeats": repeats,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    report("Ebackend: batched Legendre kernels (R15 tables)", [
+        ("loop kernels", "baseline", f"{loop * 1e3:.2f} ms"),
+        ("batched kernels", "faster", f"{batched * 1e3:.2f} ms"),
+        ("kernel speedup", "> 1x", f"{speedup:.2f}x"),
+        ("plan builds for 2 transforms", "1", str(stats["builds"])),
+    ])
+    # The batching exists for speed; at R15 size it must not be slower.
+    assert speedup > 1.0, f"batched kernels slower than loop: {speedup:.2f}x"

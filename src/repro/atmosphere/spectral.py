@@ -23,6 +23,7 @@ coefficients carry a 1/nlon factor on analysis, so a spectral coefficient
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -85,7 +86,7 @@ def gaussian_latitudes(nlat: int) -> tuple[np.ndarray, np.ndarray]:
     return mu[order], w[order]
 
 
-def _epsilon(n: np.ndarray | float, m: int) -> np.ndarray | float:
+def _epsilon(n: np.ndarray | float, m: np.ndarray | int) -> np.ndarray | float:
     """Recurrence coefficient eps_n^m = sqrt((n^2 - m^2) / (4 n^2 - 1))."""
     n = np.asarray(n, dtype=float)
     return np.sqrt(np.maximum(n * n - m * m, 0.0) / (4.0 * n * n - 1.0))
@@ -97,18 +98,51 @@ def associated_legendre(mu: np.ndarray, mmax: int, nkmax: int) -> np.ndarray:
     Returns ``pbar`` of shape (nlat, mmax+1, nkmax) with
     ``pbar[j, m, k] = Pbar_{m+k}^m(mu_j)``.  Normalization is
     ``(1/2) int Pbar^2 dmu = 1``; computed with the stable sectoral seed +
-    three-term recurrence in n.
+    three-term recurrence in n, batched across every m column at once
+    (bitwise identical to :func:`_associated_legendre_ref` — same
+    elementwise IEEE operations, just stacked).
     """
     mu = np.asarray(mu, dtype=float)
     nlat = mu.size
     cos2 = 1.0 - mu * mu  # cos^2(lat)
     pbar = np.zeros((nlat, mmax + 1, nkmax))
-    # Sectoral functions Pbar_m^m built multiplicatively to avoid overflow.
+    # Sectoral functions Pbar_m^m built multiplicatively to avoid overflow;
+    # this seed chain is inherently sequential in m (and cheap).
     pmm = np.ones(nlat)  # Pbar_0^0 = 1 under this normalization
     for m in range(mmax + 1):
         pbar[:, m, 0] = pmm
-        # Upward recurrence in n at fixed m:
-        #   Pbar_n = (mu Pbar_{n-1} - eps_{n-1} Pbar_{n-2}) / eps_n
+        # Seed for the next m: Pbar_{m+1}^{m+1} = sqrt((2m+3)/(2m+2)) cos(lat) Pbar_m^m
+        if m < mmax:
+            pmm = np.sqrt((2.0 * m + 3.0) / (2.0 * m + 2.0)) * np.sqrt(cos2) * pmm
+    # Upward recurrence in n, all (nlat, m) columns per k step:
+    #   Pbar_n = (mu Pbar_{n-1} - eps_{n-1} Pbar_{n-2}) / eps_n
+    m_arr = np.arange(mmax + 1, dtype=float)
+    mu_col = mu[:, None]
+    pnm2 = np.zeros((nlat, mmax + 1))
+    pnm1 = pbar[:, :, 0]
+    for k in range(1, nkmax):
+        n_arr = m_arr + k
+        e_n = _epsilon(n_arr, m_arr)
+        e_nm1 = _epsilon(n_arr - 1.0, m_arr)
+        pn = (mu_col * pnm1 - e_nm1 * pnm2) / e_n
+        pbar[:, :, k] = pn
+        pnm2, pnm1 = pnm1, pn
+    return pbar
+
+
+def _associated_legendre_ref(mu: np.ndarray, mmax: int, nkmax: int) -> np.ndarray:
+    """Reference per-m loop implementation of :func:`associated_legendre`.
+
+    Kept as the bitwise oracle for the batched kernel (and as the baseline
+    the Legendre entry in ``BENCH_backend.json`` measures against).
+    """
+    mu = np.asarray(mu, dtype=float)
+    nlat = mu.size
+    cos2 = 1.0 - mu * mu
+    pbar = np.zeros((nlat, mmax + 1, nkmax))
+    pmm = np.ones(nlat)
+    for m in range(mmax + 1):
+        pbar[:, m, 0] = pmm
         pnm2 = np.zeros(nlat)
         pnm1 = pmm
         for k in range(1, nkmax):
@@ -118,7 +152,6 @@ def associated_legendre(mu: np.ndarray, mmax: int, nkmax: int) -> np.ndarray:
             pn = (mu * pnm1 - e_nm1 * pnm2) / e_n
             pbar[:, m, k] = pn
             pnm2, pnm1 = pnm1, pn
-        # Seed for the next m: Pbar_{m+1}^{m+1} = sqrt((2m+3)/(2m+2)) cos(lat) Pbar_m^m
         if m < mmax:
             pmm = np.sqrt((2.0 * m + 3.0) / (2.0 * m + 2.0)) * np.sqrt(cos2) * pmm
     return pbar
@@ -130,7 +163,26 @@ def legendre_derivative(mu: np.ndarray, pbar_ext: np.ndarray) -> np.ndarray:
     ``pbar_ext`` must hold one extra k row (n up to m + nk), since
     ``H_n = (n+1) eps_n Pbar_{n-1} - n eps_{n+1} Pbar_{n+1}``.
     Returns shape (nlat, nm, nk) where nk = pbar_ext.shape[2] - 1.
+    Fully vectorized over (m, k); bitwise identical to
+    :func:`_legendre_derivative_ref` (the k = 0 down-term is a zeros
+    column, so ``term_up + term_dn`` reproduces the reference's
+    ``term_up + 0.0`` including its -0.0 -> +0.0 normalization).
     """
+    nlat, nm, nk_ext = pbar_ext.shape
+    nk = nk_ext - 1
+    m = np.arange(nm, dtype=float)[:, None]
+    k = np.arange(nk, dtype=float)[None, :]
+    n = m + k
+    up = (-n) * _epsilon(n + 1.0, m)            # (nm, nk)
+    dn = (n + 1.0) * _epsilon(n, m)
+    h = up[None, :, :] * pbar_ext[:, :, 1:nk + 1]
+    term_dn = np.zeros_like(h)
+    term_dn[:, :, 1:] = dn[None, :, 1:] * pbar_ext[:, :, 0:nk - 1]
+    return h + term_dn
+
+
+def _legendre_derivative_ref(mu: np.ndarray, pbar_ext: np.ndarray) -> np.ndarray:
+    """Reference double-loop implementation of :func:`legendre_derivative`."""
     nlat, nm, nk_ext = pbar_ext.shape
     nk = nk_ext - 1
     h = np.zeros((nlat, nm, nk))
@@ -141,6 +193,55 @@ def legendre_derivative(mu: np.ndarray, pbar_ext: np.ndarray) -> np.ndarray:
             term_dn = (n + 1) * _epsilon(n, m) * pbar_ext[:, m, k - 1] if k >= 1 else 0.0
             h[:, m, k] = term_up + term_dn
     return h
+
+
+# ---------------------------------------------------------------------------
+# Cached Legendre plan tables
+# ---------------------------------------------------------------------------
+_plan_lock = threading.Lock()
+_plan_cache: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+_plan_stats = {"builds": 0, "hits": 0}
+
+
+def legendre_plan(nlat: int, mmax: int, nkmax: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached read-only float64 ``(pbar_ext, hbar)`` tables for one grid.
+
+    Every :class:`SpectralTransform` for the same (nlat, mmax, nkmax) —
+    including the replicated per-rank models the concurrent coupled driver
+    constructs on simulated-MPI threads — shares one table, so pool workers
+    never redo the recurrences.  The arrays are marked non-writeable;
+    ``.astype(float64, copy=False)`` on them returns the shared array.
+    """
+    key = (int(nlat), int(mmax), int(nkmax))
+    with _plan_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _plan_stats["hits"] += 1
+            return plan
+    mu, _ = gaussian_latitudes(nlat)
+    pbar_ext = associated_legendre(mu, mmax, nkmax)
+    hbar = legendre_derivative(mu, pbar_ext)
+    pbar_ext.setflags(write=False)
+    hbar.setflags(write=False)
+    with _plan_lock:
+        # A racing builder may have beaten us; keep whichever landed first.
+        plan = _plan_cache.setdefault(key, (pbar_ext, hbar))
+        _plan_stats["builds"] += 1
+    return plan
+
+
+def legendre_plan_stats() -> dict:
+    """Copy of the plan-cache counters: {"builds": ..., "hits": ...}."""
+    with _plan_lock:
+        return dict(_plan_stats)
+
+
+def clear_legendre_plans() -> None:
+    """Drop all cached plan tables and zero the counters (test hook)."""
+    with _plan_lock:
+        _plan_cache.clear()
+        _plan_stats["builds"] = 0
+        _plan_stats["hits"] = 0
 
 
 class SpectralTransform:
@@ -175,11 +276,11 @@ class SpectralTransform:
         self.lats = np.arcsin(self.mu)                  # radians, S->N
         self.lons = 2.0 * np.pi * np.arange(nlon) / nlon
 
-        # Legendre tables: built in float64 for recurrence stability, then
-        # cast to the policy precision the transforms run in.
-        pbar_ext = associated_legendre(self.mu, trunc.mmax, trunc.nk + 1)
+        # Legendre tables: built in float64 for recurrence stability (shared
+        # across transforms via the plan cache), then cast to the policy
+        # precision the transforms run in.
+        pbar_ext, hbar = legendre_plan(nlat, trunc.mmax, trunc.nk + 1)
         pbar = pbar_ext[:, :, : trunc.nk]
-        hbar = legendre_derivative(self.mu, pbar_ext)
         self._wp = ((self.weights[:, None, None] / 2.0) * pbar).astype(fdt, copy=False)
         self._wh = ((self.weights[:, None, None] / 2.0) * hbar).astype(fdt, copy=False)
         self.pbar = pbar.astype(fdt, copy=False)

@@ -46,6 +46,7 @@ from repro.backend.dtypes import (
 )
 from repro.backend.workspace import (
     Workspace,
+    arenas_disjoint,
     get_workspace,
     reset_workspaces,
     workspace_enabled,
@@ -57,6 +58,6 @@ __all__ = [
     "available_backends", "get_backend", "register_backend",
     "DTypePolicy", "FLOAT32", "FLOAT64", "default_policy", "dtype_policy",
     "policy_from_name", "set_default_dtype",
-    "Workspace", "get_workspace", "reset_workspaces", "workspace_enabled",
+    "Workspace", "arenas_disjoint", "get_workspace", "reset_workspaces", "workspace_enabled",
     "workspace_totals",
 ]

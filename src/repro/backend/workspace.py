@@ -34,7 +34,7 @@ import weakref
 import numpy as np
 
 __all__ = [
-    "Workspace", "get_workspace", "workspace_enabled",
+    "Workspace", "arenas_disjoint", "get_workspace", "workspace_enabled",
     "workspace_totals", "reset_workspaces",
 ]
 
@@ -148,3 +148,21 @@ def reset_workspaces() -> None:
         workspaces = list(_registry)
     for w in workspaces:
         w.clear()
+
+
+def arenas_disjoint(workspaces) -> bool:
+    """True when no two of the given workspaces share a scratch buffer.
+
+    The concurrent coupled driver's correctness argument needs the
+    atmosphere-pool and ocean-pool rank threads to scribble in disjoint
+    arenas; thread-local :func:`get_workspace` guarantees it, and this
+    helper lets tests (and the driver's own audit) verify it by object
+    identity rather than by trusting the thread-local plumbing.
+    """
+    seen: set[int] = set()
+    for w in workspaces:
+        for buf in w._buffers.values():
+            if id(buf) in seen:
+                return False
+            seen.add(id(buf))
+    return True

@@ -128,70 +128,132 @@ class FoamModel:
                          coupler=cpl, time=0.0)
 
     # ------------------------------------------------------------------
-    def coupled_step(self, state: FoamState) -> FoamState:
-        """One atmosphere step of the coupled system (30 simulated minutes).
+    # coupled-step phases
+    #
+    # ``coupled_step`` below recomposes these serially; the concurrent
+    # driver (repro.parallel.coupled) distributes them over disjoint rank
+    # pools.  Each phase runs identical array expressions in identical
+    # order, so serial and concurrent float64 trajectories are bitwise
+    # comparable.
+    # ------------------------------------------------------------------
+    def atm_diagnose(self, atm_curr: AtmosphereState):
+        """Grid-space diagnostics of the current spectral state."""
+        with profile_section("atmosphere"):
+            return self.dycore.diagnose(atm_curr)
 
-        Profiler sections follow the event-simulator's decomposition
-        (``calibrate_from_profile`` depends on these names): top-level
-        ``atmosphere`` / ``coupler`` / ``ocean``, with ``dynamics`` under
-        ``atmosphere`` entered exactly once per coupled step.
+    def merge_surface(self, cpl_state: CouplerState, sst: np.ndarray, *,
+                      t_air: np.ndarray, q_air: np.ndarray,
+                      u_air: np.ndarray, v_air: np.ndarray, ps: np.ndarray):
+        """Coupler phase: merged surface state + overlap-grid turbulent fluxes."""
+        with profile_section("coupler"):
+            surface = self.coupler.surface_state_for_atm(cpl_state, sst)
+            turb = self.coupler.turbulent_fluxes(
+                cpl_state, t_air=t_air, q_air=q_air, u_air=u_air,
+                v_air=v_air, ps=ps, sst_celsius=sst)
+        return surface, turb
+
+    def _physics_kernel(self, diag, q, surface, external_fluxes, *,
+                        time: float, rows: tuple[int, int] | None = None):
+        """Column physics; ``rows=(lo, hi)`` restricts to a latitude band.
+
+        Physics is column-local, so a band run is bitwise identical to the
+        corresponding rows of a full-grid run (the atmosphere pool relies
+        on this to split physics without splitting the spectral state).
         """
         cfg = self.config
-        dt = cfg.atm_dt
         tr = self.transform
-        curr = state.atm_curr
-        with profile_section("atmosphere"):
-            diag = self.dycore.diagnose(curr)
-        sst = self.ocean.sst(state.ocean)
+        if rows is None:
+            return self.physics.compute(
+                temp=diag.temp, q=q, u=diag.u, v=diag.v,
+                pressure=diag.pressure, ps=diag.ps,
+                geopotential=diag.geopotential, dsigma=self.vgrid.dsigma,
+                surface=surface, dt=cfg.atm_dt, time=time,
+                lats=tr.lats, lons=tr.lons, external_fluxes=external_fluxes)
+        lo, hi = rows
+        sl = slice(lo, hi)
+        from repro.atmosphere.physics import SurfaceState
+        sub = SurfaceState(t_sfc=surface.t_sfc[sl], albedo=surface.albedo[sl],
+                           wetness=surface.wetness[sl], z0=surface.z0[sl],
+                           ocean_mask=surface.ocean_mask[sl])
+        ext = external_fluxes
+        if ext is not None:
+            ext = {k: v[sl] for k, v in ext.items()}
+        return self.physics.compute(
+            temp=diag.temp[:, sl], q=q[:, sl], u=diag.u[:, sl],
+            v=diag.v[:, sl], pressure=diag.pressure[:, sl], ps=diag.ps[sl],
+            geopotential=diag.geopotential[:, sl], dsigma=self.vgrid.dsigma,
+            surface=sub, dt=cfg.atm_dt, time=time,
+            lats=tr.lats[sl], lons=tr.lons, external_fluxes=ext)
 
-        # --- coupler: surface state and turbulent fluxes (overlap grid) ---
-        with profile_section("coupler"):
-            surface = self.coupler.surface_state_for_atm(state.coupler, sst)
-            turb = self.coupler.turbulent_fluxes(
-                state.coupler, t_air=diag.temp[-1], q_air=curr.q[-1],
-                u_air=diag.u[-1], v_air=diag.v[-1], ps=diag.ps,
-                sst_celsius=sst)
+    def _apply_tendencies_kernel(self, curr: AtmosphereState, dtdt, dudt,
+                                 dvdt, dqdt) -> AtmosphereState:
+        """Apply physics adjustments to the spectral state (process split)."""
+        dt = self.config.atm_dt
+        tr = self.transform
+        new_curr = curr.copy()
+        for l in range(self.vgrid.nlev):
+            new_curr.temp[l] += dt * tr.analyze(dtdt[l])
+            dv, dd = tr.vortdiv_from_uv(dudt[l], dvdt[l])
+            new_curr.vort[l] += dt * dv
+            new_curr.div[l] += dt * dd
+        new_curr.q = np.maximum(curr.q + dt * dqdt, 0.0)
+        return new_curr
 
-        # --- atmosphere physics with coupler-owned surface fluxes ----------
+    def atm_physics(self, diag, q, surface, external_fluxes, *,
+                    time: float, rows: tuple[int, int] | None = None):
+        """Physics phase with its own profiler framing (pool driver entry)."""
         with profile_section("atmosphere"):
             with profile_section("physics"):
-                phys = self.physics.compute(
-                    temp=diag.temp, q=curr.q, u=diag.u, v=diag.v,
-                    pressure=diag.pressure, ps=diag.ps,
-                    geopotential=diag.geopotential, dsigma=self.vgrid.dsigma,
-                    surface=surface, dt=dt, time=state.time,
-                    lats=tr.lats, lons=tr.lons, external_fluxes=turb["atm"])
+                return self._physics_kernel(diag, q, surface, external_fluxes,
+                                            time=time, rows=rows)
 
-            # Apply physics adjustments to the spectral state (process split).
+    def atm_apply_tendencies(self, curr: AtmosphereState, dtdt, dudt, dvdt,
+                             dqdt) -> AtmosphereState:
+        """Spectral-update phase with profiler framing (pool driver entry)."""
+        with profile_section("atmosphere"):
             with profile_section("spectral_update"):
-                new_curr = curr.copy()
-                for l in range(self.vgrid.nlev):
-                    new_curr.temp[l] += dt * tr.analyze(phys.dtdt[l])
-                    dv, dd = tr.vortdiv_from_uv(phys.dudt[l], phys.dvdt[l])
-                    new_curr.vort[l] += dt * dv
-                    new_curr.div[l] += dt * dd
-                new_curr.q = np.maximum(curr.q + dt * phys.dqdt, 0.0)
+                return self._apply_tendencies_kernel(curr, dtdt, dudt, dvdt, dqdt)
 
-        precip = phys.precip_conv + phys.precip_strat
+    def atm_advance(self, state: FoamState, diag, surface, external_fluxes):
+        """Full-grid physics + spectral update (the serial atmosphere phase)."""
+        with profile_section("atmosphere"):
+            with profile_section("physics"):
+                phys = self._physics_kernel(diag, state.atm_curr.q, surface,
+                                            external_fluxes, time=state.time)
+            with profile_section("spectral_update"):
+                new_curr = self._apply_tendencies_kernel(
+                    state.atm_curr, phys.dtdt, phys.dudt, phys.dvdt, phys.dqdt)
+        return new_curr, phys
 
-        # --- land, hydrology, rivers (atmosphere grid) ----------------------
+    def accumulate_forcing(self, cpl_state: CouplerState, turb: dict,
+                           surface, *, precip: np.ndarray,
+                           sw_sfc: np.ndarray, lw_down: np.ndarray,
+                           t_low1: np.ndarray, t_low2: np.ndarray,
+                           dt: float):
+        """Land/hydrology/rivers + ocean-forcing accumulation (coupler phase).
+
+        ``sw_sfc``/``lw_down`` are the radiation outputs of the physics
+        step; the turbulent pieces of the net surface flux come from
+        ``turb["atm"]`` (the very arrays physics passed through via
+        ``external_fluxes``), so the coupler rank needs no flux arrays back
+        from the atmosphere pool beyond precip and radiation.
+        """
         t_sfc_atm = surface.t_sfc
-        net_sfc = (phys.fluxes["sw_sfc"] + phys.fluxes["lw_down"]
+        net_sfc = (sw_sfc + lw_down
                    - STEFAN_BOLTZMANN * t_sfc_atm**4
-                   - phys.fluxes["shf"] - phys.fluxes["lhf"])
+                   - turb["atm"]["shf"] - turb["atm"]["lhf"])
         with profile_section("coupler"):
             with profile_section("land_rivers"):
                 new_cpl, discharge_atm, cpl_diags = self.coupler.step_land_and_rivers(
-                    state.coupler, precip=precip, evap=phys.fluxes["evap"],
-                    t_low1=diag.temp[-1], t_low2=diag.temp[-2],
+                    cpl_state, precip=precip, evap=turb["atm"]["evap"],
+                    t_low1=t_low1, t_low2=t_low2,
                     net_land_flux=net_sfc, dt=dt)
 
             # --- accumulate ocean forcing -----------------------------------
             with profile_section("regrid_merge"):
                 ov = self.coupler.overlap
                 rad_ocn = self.coupler.surface_radiation_to_ocean(
-                    sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
-                    t_sfc=t_sfc_atm)
+                    sw_sfc=sw_sfc, lw_down=lw_down, t_sfc=t_sfc_atm)
                 heat_ocn = rad_ocn - turb["ocn_turb_heat_loss"]
                 precip_ocn = ov.to_ocn(np.where(self.coupler._water_overlap,
                                                 ov.from_atm(precip), 0.0))
@@ -203,35 +265,90 @@ class FoamModel:
                 self._acc.heat_flux += heat_ocn
                 self._acc.freshwater += fresh
                 self._acc_steps += 1
+        return new_cpl, cpl_diags
+
+    def coupling_due(self) -> bool:
+        """True when a full averaging window has accumulated (ocean is due)."""
+        return self._acc_steps >= self.config.atm_steps_per_coupling
+
+    def ocean_forcing(self, cpl_state: CouplerState, sst: np.ndarray, *,
+                      t_air_bot: np.ndarray):
+        """Window-mean forcing + sea-ice step; resets the accumulator."""
+        cfg = self.config
+        n = self._acc_steps
+        forcing = OceanForcing(self._acc.taux / n, self._acc.tauy / n,
+                               self._acc.heat_flux / n,
+                               self._acc.freshwater / n)
+        # Sea ice first: it converts persistent heat loss at the clamp
+        # into ice and shields the stress.
+        ov = self.coupler.overlap
+        t_air_ocn = ov.to_ocn(ov.from_atm(t_air_bot))
+        with profile_section("coupler"):
+            with profile_section("seaice"):
+                new_cpl, ice_fw = self.coupler.step_sea_ice(
+                    cpl_state, sst_celsius=sst,
+                    ocean_heat_loss=-forcing.heat_flux,
+                    t_air_on_ocn=t_air_ocn,
+                    dt=cfg.ocean_coupling_interval)
+        forcing.freshwater += ice_fw
+        self._reset_ocean_accumulator()
+        return new_cpl, forcing
+
+    def ocean_advance(self, ocean_state: OceanState,
+                      forcing: OceanForcing) -> OceanState:
+        """The ocean's coupled call (6 simulated hours under the mean forcing)."""
+        with profile_section("ocean"):
+            return self.ocean.step(ocean_state, forcing)
+
+    def atm_dynamics(self, atm_prev: AtmosphereState,
+                     new_curr: AtmosphereState):
+        """Semi-implicit spectral dynamics step (once per coupled step)."""
+        with profile_section("atmosphere"):
+            with profile_section("dynamics"):
+                return self.dycore.step(atm_prev, new_curr)
+
+    # ------------------------------------------------------------------
+    def coupled_step(self, state: FoamState) -> FoamState:
+        """One atmosphere step of the coupled system (30 simulated minutes).
+
+        Profiler sections follow the event-simulator's decomposition
+        (``calibrate_from_profile`` depends on these names): top-level
+        ``atmosphere`` / ``coupler`` / ``ocean``, with ``dynamics`` under
+        ``atmosphere`` entered exactly once per coupled step.
+        """
+        cfg = self.config
+        dt = cfg.atm_dt
+        curr = state.atm_curr
+        diag = self.atm_diagnose(curr)
+        sst = self.ocean.sst(state.ocean)
+
+        # --- coupler: surface state and turbulent fluxes (overlap grid) ---
+        surface, turb = self.merge_surface(
+            state.coupler, sst, t_air=diag.temp[-1], q_air=curr.q[-1],
+            u_air=diag.u[-1], v_air=diag.v[-1], ps=diag.ps)
+
+        # --- atmosphere physics with coupler-owned surface fluxes ----------
+        new_curr, phys = self.atm_advance(state, diag, surface, turb["atm"])
+
+        precip = phys.precip_conv + phys.precip_strat
+
+        # --- land, hydrology, rivers + ocean-forcing accumulation -----------
+        new_cpl, _cpl_diags = self.accumulate_forcing(
+            state.coupler, turb, surface, precip=precip,
+            sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
+            t_low1=diag.temp[-1], t_low2=diag.temp[-2], dt=dt)
 
         new_ocean = state.ocean
         new_time = state.time + dt
 
         # --- ocean call (every 6 simulated hours) ---------------------------
-        if self._acc_steps >= cfg.atm_steps_per_coupling:
-            n = self._acc_steps
-            forcing = OceanForcing(self._acc.taux / n, self._acc.tauy / n,
-                                   self._acc.heat_flux / n,
-                                   self._acc.freshwater / n)
-            # Sea ice first: it converts persistent heat loss at the clamp
-            # into ice and shields the stress.
-            t_air_ocn = ov.to_ocn(ov.from_atm(diag.temp[-1]))
-            with profile_section("coupler"):
-                with profile_section("seaice"):
-                    new_cpl, ice_fw = self.coupler.step_sea_ice(
-                        new_cpl, sst_celsius=sst,
-                        ocean_heat_loss=-forcing.heat_flux,
-                        t_air_on_ocn=t_air_ocn,
-                        dt=cfg.ocean_coupling_interval)
-            forcing.freshwater += ice_fw
-            with profile_section("ocean"):
-                new_ocean = self.ocean.step(state.ocean, forcing)
-            self._reset_ocean_accumulator()
+        if self.coupling_due():
+            new_cpl, forcing = self.ocean_forcing(new_cpl, sst,
+                                                  t_air_bot=diag.temp[-1])
+            new_ocean = self.ocean_advance(state.ocean, forcing)
 
         # --- atmosphere dynamics step ----------------------------------------
-        with profile_section("atmosphere"):
-            with profile_section("dynamics"):
-                new_prev, new_next = self.dycore.step(state.atm_prev, new_curr)
+        new_prev, new_next = self.atm_dynamics(state.atm_prev, new_curr)
         return FoamState(atm_prev=new_prev, atm_curr=new_next,
                          ocean=new_ocean, coupler=new_cpl, time=new_time)
 

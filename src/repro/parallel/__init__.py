@@ -7,6 +7,11 @@ real NumPy arrays through :class:`SimComm`, on which the decompositions and
 distributed transposes of the component models are built.
 """
 
+from repro.parallel.coupled import (
+    ConcurrentCoupledResult,
+    PoolLayout,
+    run_concurrent_coupled,
+)
 from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
 from repro.parallel.faults import FaultPlan, corrupt_payload
 from repro.parallel.simmpi import (
@@ -30,6 +35,9 @@ __all__ = [
     "BlockedRank",
     "CommError",
     "CommStats",
+    "ConcurrentCoupledResult",
+    "PoolLayout",
+    "run_concurrent_coupled",
     "DeadlockError",
     "DeadlockReport",
     "FaultPlan",

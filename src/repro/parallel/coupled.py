@@ -1,0 +1,348 @@
+"""Concurrent coupled execution on disjoint rank pools (paper Figure 2).
+
+FOAM's headline throughput comes from running the atmosphere and ocean
+*simultaneously* on disjoint processor pools, with a lightweight coupler
+overlapping the ocean's 6-hour integration under the next atmosphere
+steps.  This module makes that schedule functional on the simulated-MPI
+layer: :func:`run_concurrent_coupled` splits the world into
+
+* an **atmosphere pool** (``layout.n_atm`` ranks) holding a replicated
+  spectral state: each rank runs column physics on its own latitude band
+  (physics is column-local, so bands are bitwise rows of the full-grid
+  run), allgathers the band tendencies inside the pool, and redundantly
+  applies the cheap spectral update + dynamics;
+* a **coupler rank** owning the land/hydrology/river/ice state and the
+  ocean-forcing accumulator, exchanging only overlap-grid payloads with
+  both pools via tagged sends;
+* an **ocean pool** (``layout.n_ocn`` ranks; the leader computes) running
+  the 6-hour ocean call *under* the atmosphere's boundary-step dynamics
+  and the next step's diagnostics — the coupler asks for the fresh SST
+  lazily, right before the first step that needs it.
+
+The exchange epochs are exactly the serial :meth:`FoamModel.coupled_step`
+ones, so the float64 trajectory is bitwise comparable to the serial run
+(the equivalence tests assert array equality, not just 1e-12 closeness).
+
+Per-rank :class:`~repro.perf.profiler.RunProfile` s (recorded through
+``thread_profiler``) merge into one profile whose measured section costs
+calibrate the event simulator's concurrent-schedule prediction
+(:func:`repro.perf.eventsim.predict_concurrent_speedup`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend import get_workspace
+from repro.parallel.decomp import block_bounds
+from repro.parallel.simmpi import CommStats, SimComm, run_ranks
+from repro.perf.profiler import Profiler, RunProfile, merge_profiles, thread_profiler
+
+# Coupler exchange tags (world-communicator context).
+TAG_ATM_STATE = 210    # atm leader -> coupler: bottom-level state fields
+TAG_SURFACE = 211      # coupler -> every atm rank: surface state + fluxes
+TAG_ATM_PHYS = 212     # atm leader -> coupler: precip + surface radiation
+TAG_FORCING = 213      # coupler -> ocean leader: window-mean forcing
+TAG_SST = 214          # ocean leader -> coupler: fresh SST after each call
+
+_POOL_COLORS = {"atm": 0, "cpl": 1, "ocn": 2}
+
+
+@dataclass(frozen=True)
+class PoolLayout:
+    """World layout: ranks [0, n_atm) atmosphere, n_atm coupler, rest ocean."""
+
+    n_atm: int = 2
+    n_ocn: int = 1
+
+    def __post_init__(self):
+        if self.n_atm < 1:
+            raise ValueError(f"need >= 1 atmosphere rank, got {self.n_atm}")
+        if self.n_ocn < 1:
+            raise ValueError(f"need >= 1 ocean rank, got {self.n_ocn}")
+
+    @property
+    def world_size(self) -> int:
+        return self.n_atm + 1 + self.n_ocn
+
+    @property
+    def atm_ranks(self) -> tuple[int, ...]:
+        return tuple(range(self.n_atm))
+
+    @property
+    def cpl_rank(self) -> int:
+        return self.n_atm
+
+    @property
+    def ocn_ranks(self) -> tuple[int, ...]:
+        return tuple(range(self.n_atm + 1, self.n_atm + 1 + self.n_ocn))
+
+    @property
+    def ocn_leader(self) -> int:
+        return self.n_atm + 1
+
+    def role_of(self, rank: int) -> str:
+        if rank < self.n_atm:
+            return "atm"
+        if rank == self.cpl_rank:
+            return "cpl"
+        if rank in self.ocn_ranks:
+            return "ocn"
+        raise ValueError(f"rank {rank} outside world of size {self.world_size}")
+
+
+@dataclass
+class ConcurrentCoupledResult:
+    """Everything a concurrent coupled run produced, assembled world-side."""
+
+    state: object                      # FoamState (atm from pool, ocn/cpl owners)
+    nsteps: int
+    layout: PoolLayout
+    wall_seconds: float                # max per-rank loop wall (post-barrier)
+    rank_walls: list[float]
+    waits: dict[str, float]            # blocking-recv seconds by payload kind
+    rank_waits: list[dict]
+    profile: RunProfile | None         # merged across ranks (None w/o profiling)
+    profiles: list[RunProfile] = field(default_factory=list)
+    comm_stats: list[CommStats] = field(default_factory=list)
+    acc: object | None = None          # coupler-side OceanForcing accumulator
+    acc_steps: int = 0
+    sst: np.ndarray | None = None      # SST the coupler last held
+    workspaces: list = field(default_factory=list)   # per-rank arenas (strong refs)
+    ws_stats: list[dict] = field(default_factory=list)
+    ocean_busy_seconds: float = 0.0    # time the ocean leader spent computing
+    overlap_seconds: float = 0.0       # ocean busy time hidden under atm work
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of ocean compute the schedule hid (1.0 = fully hidden)."""
+        if self.ocean_busy_seconds <= 0.0:
+            return 0.0
+        return self.overlap_seconds / self.ocean_busy_seconds
+
+
+def _timed_recv(comm: SimComm, source: int, tag: int,
+                waits: dict, key: str):
+    t0 = time.perf_counter()
+    payload = comm.recv(source, tag)
+    waits[key] = waits.get(key, 0.0) + (time.perf_counter() - t0)
+    return payload
+
+
+def _atm_worker(comm, pool, layout, model, state, nsteps, waits):
+    """One atmosphere-pool rank: band physics + replicated spectral state."""
+    from repro.atmosphere.physics import SurfaceState
+    from repro.core.foam import FoamState
+
+    cfg = model.config
+    dt = cfg.atm_dt
+    lo, hi = block_bounds(cfg.atm_nlat, layout.n_atm, pool.rank)
+    leader = pool.rank == 0
+    cpl = layout.cpl_rank
+    ocean_mask = ~model.coupler.atm_land_mask
+
+    for _ in range(nsteps):
+        curr = state.atm_curr
+        diag = model.atm_diagnose(curr)
+        if leader:
+            comm.send({"t_air": diag.temp[-1], "t_air2": diag.temp[-2],
+                       "q_air": curr.q[-1], "u_air": diag.u[-1],
+                       "v_air": diag.v[-1], "ps": diag.ps},
+                      cpl, TAG_ATM_STATE)
+        sfc = _timed_recv(comm, cpl, TAG_SURFACE, waits, "surface")
+        surface = SurfaceState(t_sfc=sfc["t_sfc"], albedo=sfc["albedo"],
+                               wetness=sfc["wetness"], z0=sfc["z0"],
+                               ocean_mask=ocean_mask)
+        phys = model.atm_physics(diag, curr.q, surface, sfc["fluxes"],
+                                 time=state.time, rows=(lo, hi))
+        band = {"dtdt": phys.dtdt, "dudt": phys.dudt, "dvdt": phys.dvdt,
+                "dqdt": phys.dqdt,
+                "precip": phys.precip_conv + phys.precip_strat,
+                "sw_sfc": phys.fluxes["sw_sfc"],
+                "lw_down": phys.fluxes["lw_down"]}
+        parts = pool.allgather(band)
+        # Latitude is the second-to-last axis of every payload field.
+        full = {key: np.concatenate([p[key] for p in parts],
+                                    axis=parts[0][key].ndim - 2)
+                for key in band}
+        if leader:
+            # Ship the coupler's inputs *before* the spectral update and
+            # dynamics: land/river/regrid work overlaps them every step.
+            comm.send({"precip": full["precip"], "sw_sfc": full["sw_sfc"],
+                       "lw_down": full["lw_down"]}, cpl, TAG_ATM_PHYS)
+        new_curr = model.atm_apply_tendencies(
+            curr, full["dtdt"], full["dudt"], full["dvdt"], full["dqdt"])
+        new_prev, new_next = model.atm_dynamics(state.atm_prev, new_curr)
+        state = FoamState(atm_prev=new_prev, atm_curr=new_next,
+                          ocean=state.ocean, coupler=state.coupler,
+                          time=state.time + dt)
+    return {"atm_prev": state.atm_prev, "atm_curr": state.atm_curr,
+            "time": state.time}
+
+
+def _cpl_worker(comm, pool, layout, model, state, nsteps, waits):
+    """The coupler rank: owns land/river/ice state + the forcing window."""
+    cfg = model.config
+    dt = cfg.atm_dt
+    atm_leader = layout.atm_ranks[0]
+    ocn_leader = layout.ocn_leader
+    cpl_state = state.coupler
+
+    # Initial SST (the serial run reads it straight off the initial ocean).
+    sst = _timed_recv(comm, ocn_leader, TAG_SST, waits, "sst")
+    pending_sst = False
+    for _ in range(nsteps):
+        st = _timed_recv(comm, atm_leader, TAG_ATM_STATE, waits, "atm_state")
+        if pending_sst:
+            # Lazily collect the overlapped ocean call's SST: this is the
+            # first step that consumes it, so the recv lands as late as the
+            # serial exchange epochs allow.
+            sst = _timed_recv(comm, ocn_leader, TAG_SST, waits, "sst")
+            pending_sst = False
+        surface, turb = model.merge_surface(
+            cpl_state, sst, t_air=st["t_air"], q_air=st["q_air"],
+            u_air=st["u_air"], v_air=st["v_air"], ps=st["ps"])
+        payload = {"t_sfc": surface.t_sfc, "albedo": surface.albedo,
+                   "wetness": surface.wetness, "z0": surface.z0,
+                   "fluxes": turb["atm"]}
+        for r in layout.atm_ranks:
+            comm.send(payload, r, TAG_SURFACE)
+        ph = _timed_recv(comm, atm_leader, TAG_ATM_PHYS, waits, "atm_phys")
+        # Land/rivers/regrid run here while the atm pool is inside its
+        # spectral update + dynamics — the every-step overlap.
+        cpl_state, _diags = model.accumulate_forcing(
+            cpl_state, turb, surface, precip=ph["precip"],
+            sw_sfc=ph["sw_sfc"], lw_down=ph["lw_down"],
+            t_low1=st["t_air"], t_low2=st["t_air2"], dt=dt)
+        if model.coupling_due():
+            cpl_state, forcing = model.ocean_forcing(cpl_state, sst,
+                                                     t_air_bot=st["t_air"])
+            comm.send({"taux": forcing.taux, "tauy": forcing.tauy,
+                       "heat": forcing.heat_flux, "fresh": forcing.freshwater},
+                      ocn_leader, TAG_FORCING)
+            pending_sst = True
+    if pending_sst:  # drain the final overlapped call
+        sst = _timed_recv(comm, ocn_leader, TAG_SST, waits, "sst")
+    return {"coupler": cpl_state, "sst": sst, "acc": model._acc,
+            "acc_steps": model._acc_steps}
+
+
+def _ocn_worker(comm, pool, layout, model, state, nsteps, waits):
+    """Ocean-pool rank: the leader integrates; extra ranks idle (ROADMAP)."""
+    from repro.ocean.model import OceanForcing
+
+    cfg = model.config
+    cpl = layout.cpl_rank
+    ocean_state = state.ocean
+    busy = 0.0
+    if pool.rank == 0:
+        comm.send(model.ocean.sst(ocean_state), cpl, TAG_SST)
+        n_calls = nsteps // cfg.atm_steps_per_coupling
+        for _ in range(n_calls):
+            f = _timed_recv(comm, cpl, TAG_FORCING, waits, "forcing")
+            forcing = OceanForcing(f["taux"], f["tauy"], f["heat"], f["fresh"])
+            t0 = time.perf_counter()
+            ocean_state = model.ocean_advance(ocean_state, forcing)
+            busy += time.perf_counter() - t0
+            comm.send(model.ocean.sst(ocean_state), cpl, TAG_SST)
+    return {"ocean": ocean_state, "ocean_busy": busy}
+
+
+_WORKERS = {"atm": _atm_worker, "cpl": _cpl_worker, "ocn": _ocn_worker}
+
+
+def run_concurrent_coupled(config=None, *, days: float = 1.0,
+                           nsteps: int | None = None,
+                           layout: PoolLayout | None = None,
+                           profile: bool = False,
+                           timeout: float | None = None) -> ConcurrentCoupledResult:
+    """Run the coupled model concurrently on disjoint rank pools.
+
+    ``nsteps`` overrides ``days``.  With ``profile=True`` every rank
+    records its own :class:`RunProfile` (via ``thread_profiler``) and the
+    result carries both the per-rank profiles and their merge.  The
+    returned state is numerically equivalent — bitwise at float64 — to
+    ``nsteps`` serial ``coupled_step`` calls from the same initial state.
+    """
+    from repro.core.config import test_config
+    from repro.core.foam import FoamModel, FoamState
+
+    layout = layout or PoolLayout()
+    cfg = config or test_config()
+    if nsteps is None:
+        nsteps = max(1, int(round(days * 86400.0 / cfg.atm_dt)))
+    if layout.n_atm > cfg.atm_nlat:
+        raise ValueError(f"n_atm={layout.n_atm} exceeds nlat={cfg.atm_nlat}")
+    # Rank threads interleave on the GIL; size the backstop to the run, not
+    # to the (pytest-lowered) default, so long runs don't false-timeout.
+    tmo = timeout if timeout is not None else max(60.0, 2.0 * nsteps)
+
+    def worker(comm: SimComm):
+        role = layout.role_of(comm.rank)
+        pool = comm.split(_POOL_COLORS[role])
+        model = FoamModel(cfg)
+        state = model.initial_state()
+        prof = Profiler(enabled=profile)
+        waits: dict[str, float] = {}
+        comm.barrier()                 # exclude construction from the walls
+        t0 = time.perf_counter()
+        with thread_profiler(prof):
+            out = _WORKERS[role](comm, pool, layout, model, state, nsteps,
+                                 waits)
+        wall = time.perf_counter() - t0
+        ws = get_workspace()
+        out.update(
+            rank=comm.rank, role=role, wall=wall, waits=waits,
+            workspace=ws,
+            ws_stats={"rank": comm.rank, "role": role, "hits": ws.hits,
+                      "misses": ws.misses, "buffers": len(ws),
+                      "nbytes": ws.nbytes},
+            stats=comm.stats,
+            profile=(prof.snapshot(label=f"rank{comm.rank}:{role}",
+                                   meta={"rank": comm.rank, "pool": role,
+                                         "wall": wall})
+                     if profile else None))
+        return out
+
+    results = run_ranks(layout.world_size, worker, timeout=tmo)
+
+    atm0 = results[layout.atm_ranks[0]]
+    cplr = results[layout.cpl_rank]
+    ocn0 = results[layout.ocn_leader]
+    state = FoamState(atm_prev=atm0["atm_prev"], atm_curr=atm0["atm_curr"],
+                      ocean=ocn0["ocean"], coupler=cplr["coupler"],
+                      time=atm0["time"])
+
+    waits: dict[str, float] = {}
+    for r in results:
+        for k, v in r["waits"].items():
+            waits[k] = waits.get(k, 0.0) + v
+    profiles = [r["profile"] for r in results if r["profile"] is not None]
+    merged = None
+    if profiles:
+        merged = merge_profiles(
+            profiles,
+            label=(f"concurrent coupled ({layout.n_atm} atm + 1 cpl + "
+                   f"{layout.n_ocn} ocn ranks), {nsteps} steps"),
+            meta={"layout": {"n_atm": layout.n_atm, "n_ocn": layout.n_ocn},
+                  "nsteps": nsteps, "atm_dt": cfg.atm_dt,
+                  "dtype": cfg.dtype_policy.name, "waits": dict(waits)})
+    ocean_busy = ocn0["ocean_busy"]
+    sst_wait = cplr["waits"].get("sst", 0.0)
+    return ConcurrentCoupledResult(
+        state=state, nsteps=nsteps, layout=layout,
+        wall_seconds=max(r["wall"] for r in results),
+        rank_walls=[r["wall"] for r in results],
+        waits=waits,
+        rank_waits=[{"rank": r["rank"], "role": r["role"], **r["waits"]}
+                    for r in results],
+        profile=merged, profiles=profiles,
+        comm_stats=[r["stats"] for r in results],
+        acc=cplr["acc"], acc_steps=cplr["acc_steps"], sst=cplr["sst"],
+        workspaces=[r["workspace"] for r in results],
+        ws_stats=[r["ws_stats"] for r in results],
+        ocean_busy_seconds=ocean_busy,
+        overlap_seconds=max(0.0, ocean_busy - sst_wait))

@@ -56,6 +56,10 @@ from repro.parallel.faults import FaultPlan
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+_CTX_SHIFT = 36                # communicator-context bits above the tag space:
+                               # absolute tag = (ctx << _CTX_SHIFT) + tag, so
+                               # sub-communicator traffic can never match the
+                               # parent's (collective bases stop at 5 << 30)
 _DEFAULT_TIMEOUT = 120.0       # seconds before declaring a hang outside pytest
 _PYTEST_TIMEOUT = 10.0         # default under pytest: a genuine bug should not
                                # cost the suite two minutes of sleeping
@@ -230,10 +234,16 @@ class _World:
     def __init__(self, size: int, faults: FaultPlan | None = None):
         self.size = size
         self.cond = threading.Condition()
-        # Pending messages per destination: (src, tag, payload, visible_at).
+        # Pending messages per destination: (src, abs_tag, payload, visible_at)
+        # where abs_tag carries the communicator context in its high bits.
         self.mail: list[list[tuple[int, int, Any, float]]] = [[] for _ in range(size)]
-        # rank -> (op, source, tag, since) while blocked in a receive.
-        self.blocked: dict[int, tuple[str, int, int, float]] = {}
+        # rank -> (op, source, tag, since, ctx) while blocked in a receive;
+        # rank/source are world ranks, tag is communicator-local.
+        self.blocked: dict[int, tuple[str, int, int, float, int]] = {}
+        # Communicator contexts: deterministically keyed so every member of
+        # a split lands on the same context id without extra communication.
+        self._next_ctx = 1
+        self._ctx_keys: dict[tuple, int] = {}
         self.finished: set[int] = set()
         # rank -> (origin_rank, reason): origin is the root-cause crash, so
         # transitively failing peers keep naming the rank that really died.
@@ -262,6 +272,15 @@ class _World:
         for src, dest, tag, payload, visible in held:
             self.mail[dest].append((src, tag, payload, visible))
 
+    def allocate_context(self, key: tuple) -> int:
+        """Context id for one split group; same key -> same id on every member."""
+        with self.cond:
+            ctx = self._ctx_keys.get(key)
+            if ctx is None:
+                ctx = self._ctx_keys[key] = self._next_ctx
+                self._next_ctx += 1
+            return ctx
+
     def detect_deadlock(self, now: float) -> DeadlockReport | None:
         """Wait-for-graph deadlock check; call with ``cond`` held.
 
@@ -280,8 +299,8 @@ class _World:
             self.cond.notify_all()
             return None
         for r in live:
-            _, src, tag, _ = self.blocked[r]
-            if any(_match(msrc, mtag, src, tag)
+            _, src, tag, _, ctx = self.blocked[r]
+            if any(_match(msrc, mtag, src, tag, ctx)
                    for msrc, mtag, _, _ in self.mail[r]):
                 return None  # r has (possibly delayed) matching traffic
         blocked = tuple(
@@ -308,20 +327,33 @@ class SimComm:
     """
 
     def __init__(self, rank: int, size: int, world: _World,
-                 timeout: float | None = None):
+                 timeout: float | None = None, *,
+                 group: Sequence[int] | None = None, ctx: int = 0,
+                 stats: CommStats | None = None):
         if not 0 <= rank < size:
             raise CommError(f"rank {rank} out of range for world size {size}")
         self.rank = rank
         self.size = size
         self._world = world
         self._timeout = _default_timeout() if timeout is None else timeout
-        self.stats = CommStats(rank=rank)
+        # Sub-communicator plumbing: ``group`` maps local -> world ranks
+        # (None = identity, the world communicator fast path); ``ctx`` is
+        # the context id stamped into message tags.  Liveness, deadlock
+        # reports and mailboxes always operate on world ranks.
+        self._group = list(group) if group is not None else None
+        self._ctx = ctx
+        self._wrank = rank if self._group is None else self._group[rank]
+        self.stats = stats if stats is not None else CommStats(rank=rank)
         # Collective sequence number: every rank calls collectives in the
         # same order, so stamping the tag with a per-call counter keeps
         # back-to-back collectives from consuming each other's messages.
         self._collective_seq = 0
+        self._split_seq = 0
         self._op_stack: list[str] = []
         self._op_count = 0
+
+    def _to_world(self, rank: int) -> int:
+        return rank if self._group is None else self._group[rank]
 
     # Legacy counter aliases (pre-CommStats API).
     @property
@@ -348,7 +380,7 @@ class SimComm:
                 self._op_count += 1
                 with self._world.cond:
                     msg = self._world.faults.crash_message(
-                        self.rank, self._op_count, name)
+                        self._wrank, self._op_count, name)
                 if msg is not None:
                     raise RankCrashedError(msg)
             yield
@@ -375,12 +407,14 @@ class SimComm:
         payload = _copy_payload(obj)
         op = self._op_stack[0]
         world = self._world
+        dest_w = self._to_world(dest)
+        abs_tag = (self._ctx << _CTX_SHIFT) + tag
         with world.cond:
             deliveries = world.faults.apply_send(
-                self.rank, dest, tag, payload, time.monotonic())
+                self._wrank, dest_w, abs_tag, payload, time.monotonic())
             for ddest, dtag, dpayload, visible in deliveries:
                 self.stats.note_send(op, ddest, _payload_nbytes(dpayload))
-                world.mail[ddest].append((self.rank, dtag, dpayload, visible))
+                world.mail[ddest].append((self._wrank, dtag, dpayload, visible))
             if deliveries:
                 world.cond.notify_all()
 
@@ -394,17 +428,20 @@ class SimComm:
             raise CommError(f"recv: bad source rank {source}")
         op = self._op_stack[0]
         world = self._world
+        me = self._wrank
+        src_w = ANY_SOURCE if source == ANY_SOURCE else self._to_world(source)
+        ctx = self._ctx
         start = time.monotonic()
         deadline = start + self._timeout
         with world.cond:
-            world.blocked[self.rank] = (op, source, tag, start)
+            world.blocked[me] = (op, src_w, tag, start, ctx)
             try:
                 while True:
                     now = time.monotonic()
-                    box = world.mail[self.rank]
+                    box = world.mail[me]
                     next_visible: float | None = None
                     for i, (src, t, payload, visible) in enumerate(box):
-                        if not _match(src, t, source, tag):
+                        if not _match(src, t, src_w, tag, ctx):
                             continue
                         if visible > now:  # delayed message, not yet deliverable
                             next_visible = (visible if next_visible is None
@@ -424,43 +461,48 @@ class SimComm:
                         raise DeadlockError(report)
                     if now >= deadline:
                         raise CommError(
-                            f"rank {self.rank}: {op}(source={source}, tag={tag}) "
+                            f"rank {me}: {op}(source={src_w}, tag={tag}) "
                             f"timed out after {self._timeout}s")
                     wait = min(_POLL_SLICE, deadline - now)
                     if next_visible is not None:
                         wait = min(wait, max(next_visible - now, 0.0) + 1e-4)
                     world.cond.wait(wait)
             finally:
-                world.blocked.pop(self.rank, None)
+                world.blocked.pop(me, None)
 
     def _check_peer_liveness(self, source: int, tag: int, op: str) -> None:
-        """Fail fast when the awaited peer(s) can never send; lock held."""
+        """Fail fast when the awaited peer(s) can never send; lock held.
+
+        ``source`` is communicator-local; liveness is tracked (and reported)
+        in world ranks.
+        """
         world = self._world
         if source != ANY_SOURCE:
-            if source in world.dead:
-                origin, reason = world.dead[source]
+            src_w = self._to_world(source)
+            if src_w in world.dead:
+                origin, reason = world.dead[src_w]
                 err = CommError(
-                    f"rank {self.rank}: {op}(source={source}, tag={tag}) failed "
+                    f"rank {self._wrank}: {op}(source={src_w}, tag={tag}) failed "
                     f"— rank {origin} crashed ({reason})")
                 err.origin_rank = origin
                 raise err
-            if source in world.finished:
+            if src_w in world.finished:
                 raise CommError(
-                    f"rank {self.rank}: {op}(source={source}, tag={tag}) can "
-                    f"never complete — rank {source} already finished")
+                    f"rank {self._wrank}: {op}(source={src_w}, tag={tag}) can "
+                    f"never complete — rank {src_w} already finished")
             return
-        others = [r for r in range(self.size) if r != self.rank]
+        others = [self._to_world(r) for r in range(self.size) if r != self.rank]
         if others and all(r in world.finished or r in world.dead for r in others):
             dead = sorted(r for r in others if r in world.dead)
             if dead:
                 origin, reason = world.dead[dead[0]]
                 err = CommError(
-                    f"rank {self.rank}: {op}(source=ANY, tag={tag}) failed "
+                    f"rank {self._wrank}: {op}(source=ANY, tag={tag}) failed "
                     f"— rank {origin} crashed ({reason})")
                 err.origin_rank = origin
                 raise err
             raise CommError(
-                f"rank {self.rank}: {op}(source=ANY, tag={tag}) can never "
+                f"rank {self._wrank}: {op}(source=ANY, tag={tag}) can never "
                 f"complete — all peers already finished")
 
     def sendrecv(self, obj: Any, dest: int, source: int,
@@ -587,6 +629,39 @@ class SimComm:
                 out[src] = self._recv(src, tag)
             return out
 
+    # ------------------------------------------------------------------
+    # sub-communicators
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int | None = None) -> "SimComm | None":
+        """Partition the communicator, MPI_Comm_split style (collective).
+
+        Ranks passing the same ``color`` form a new communicator, ordered
+        by ``(key, rank)`` (``key`` defaults to the current rank, so rank
+        order is preserved).  ``color=None`` opts out, as MPI_UNDEFINED
+        does: the rank participates in the collective but gets ``None``.
+
+        The sub-communicator exchanges messages in its own tag context, so
+        its traffic (including collectives) can never match the parent's or
+        a sibling group's even with equal tags.  Deadlock reports, crash
+        diagnostics and :class:`CommStats` keep identifying ranks by their
+        *world* rank; the stats object is shared with the parent so one
+        counter sees a rank's total traffic.
+        """
+        with self._op("split"):
+            entries = self.allgather(
+                (color, self.rank if key is None else key, self.rank))
+        self._split_seq += 1
+        if color is None:
+            return None
+        members = sorted((k, r) for c, k, r in entries if c == color)
+        group = [self._to_world(r) for _, r in members]
+        new_rank = [r for _, r in members].index(self.rank)
+        ctx = self._world.allocate_context(
+            ("split", self._ctx, self._split_seq, color))
+        return SimComm(new_rank, len(group), self._world,
+                       timeout=self._timeout, group=group, ctx=ctx,
+                       stats=self.stats)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimComm(rank={self.rank}, size={self.size})"
 
@@ -598,8 +673,15 @@ _TAG_SCATTER = 4 << 30
 _TAG_ALLTOALL = 5 << 30
 
 
-def _match(src: int, tag: int, want_src: int, want_tag: int) -> bool:
-    return (want_src in (ANY_SOURCE, src)) and (want_tag in (ANY_TAG, tag))
+def _match(src: int, tag: int, want_src: int, want_tag: int,
+           ctx: int = 0) -> bool:
+    """Envelope match: ``tag`` is absolute (context-stamped), ``want_tag``
+    communicator-local.  ANY_TAG still only matches within the context."""
+    if want_src not in (ANY_SOURCE, src):
+        return False
+    if want_tag == ANY_TAG:
+        return tag >> _CTX_SHIFT == ctx
+    return tag == (ctx << _CTX_SHIFT) + want_tag
 
 
 def _copy_payload(obj: Any) -> Any:

@@ -10,6 +10,7 @@ from repro.perf.costmodel import (
     MeasuredCosts,
     OceanCost,
     atmosphere_ocean_cost_ratio,
+    calibrate_concurrent_from_profile,
     calibrate_from_profile,
     foam_paper_costs,
     transpose_bytes_from_stats,
@@ -23,9 +24,11 @@ from repro.perf.csm import (
 from repro.perf.eventsim import (
     SimulationResult,
     atmosphere_parallel_efficiency,
+    predict_concurrent_speedup,
     scaling_curve,
     simulate_coupled_day,
     simulate_ocean_day,
+    simulate_serial_day,
 )
 from repro.perf.machine import (
     MachineModel,
@@ -43,25 +46,28 @@ from repro.perf.profiler import (
     disable_profiling,
     enable_profiling,
     get_profiler,
+    merge_profiles,
     profile_count,
     profile_section,
     profiled,
     profiling_enabled,
     set_profiler,
     take_profile,
+    thread_profiler,
 )
 
 __all__ = [
     "MachineModel", "commodity_cluster_1999", "cray_c90", "ibm_sp2",
     "AtmosphereCost", "CouplerCost", "MeasuredCosts", "OceanCost",
-    "atmosphere_ocean_cost_ratio", "calibrate_from_profile",
-    "foam_paper_costs",
+    "atmosphere_ocean_cost_ratio", "calibrate_concurrent_from_profile",
+    "calibrate_from_profile", "foam_paper_costs",
     "transpose_bytes_from_stats", "transpose_messages_from_stats",
-    "SimulationResult", "atmosphere_parallel_efficiency", "scaling_curve",
-    "simulate_coupled_day", "simulate_ocean_day",
+    "SimulationResult", "atmosphere_parallel_efficiency",
+    "predict_concurrent_speedup", "scaling_curve",
+    "simulate_coupled_day", "simulate_ocean_day", "simulate_serial_day",
     "CSMCostModel", "cost_performance_ratio", "foam_cost_musd",
     "Profiler", "RunProfile", "SectionStat",
     "disable_profiling", "enable_profiling", "get_profiler",
-    "profile_count", "profile_section", "profiled", "profiling_enabled",
-    "set_profiler", "take_profile",
+    "merge_profiles", "profile_count", "profile_section", "profiled",
+    "profiling_enabled", "set_profiler", "take_profile", "thread_profiler",
 ]

@@ -198,6 +198,12 @@ class MeasuredCosts:
     coupler_seconds: float           # coupler work per atmosphere step
     ocean_call_seconds: float        # one long (coupling-interval) ocean call
     transpose_seconds: float = 0.0   # forward+backward spectral transpose/step
+    dynamics_seconds: float = 0.0    # dynamics slice of a step (overlap window)
+    # Coupler work on the atmosphere's critical path even when the coupler
+    # runs on its own rank (surface merge + turbulent fluxes: the atmosphere
+    # cannot start physics without their result).  None = not separately
+    # measured; the simulator then estimates exposure from overlap_seconds.
+    coupler_exposed_seconds: float | None = None
     item_bytes: float = 8.0          # bytes/real of the profiled run's dtype
     source: str = "profile"
 
@@ -254,20 +260,93 @@ def calibrate_from_profile(profile) -> MeasuredCosts:
         if calls:
             transpose_seconds += profile.total_inclusive(label) / calls
 
-    # Precision of the profiled run (recorded by repro.perf.report in the
-    # profile metadata): the event simulator charges communication volumes
-    # proportional to the element size.
-    item_bytes = 8.0
-    meta = getattr(profile, "meta", None) or {}
-    dtype_name = meta.get("dtype")
-    if dtype_name:
-        item_bytes = float(np.dtype(dtype_name).itemsize)
-
     return MeasuredCosts(
         step_seconds=step_seconds,
         radiation_step_seconds=radiation_step_seconds,
         coupler_seconds=coupler_seconds,
         ocean_call_seconds=ocean_call_seconds,
         transpose_seconds=transpose_seconds,
-        item_bytes=item_bytes,
+        dynamics_seconds=profile.total_inclusive("atmosphere/dynamics") / n_steps,
+        item_bytes=_profile_item_bytes(profile),
         source=profile.label or "profile")
+
+
+def _profile_item_bytes(profile) -> float:
+    """Element size of the profiled run's dtype (from profile metadata)."""
+    # Precision of the profiled run (recorded by repro.perf.report in the
+    # profile metadata): the event simulator charges communication volumes
+    # proportional to the element size.
+    meta = getattr(profile, "meta", None) or {}
+    dtype_name = meta.get("dtype")
+    if dtype_name:
+        return float(np.dtype(dtype_name).itemsize)
+    return 8.0
+
+
+def calibrate_concurrent_from_profile(profile, n_atm_ranks: int) -> MeasuredCosts:
+    """Derive :class:`MeasuredCosts` from a *merged* concurrent-run profile.
+
+    ``profile`` comes from :func:`repro.perf.profiler.merge_profiles` over the
+    per-rank profiles of a :func:`repro.parallel.coupled.run_concurrent_coupled`
+    run: section times are summed across the atmosphere-pool ranks (which each
+    execute the replicated spectral work plus a latitude band of physics), the
+    coupler rank, and the ocean rank.  The normalisations undo that summation
+    so the event simulator's usual "divide across ranks" convention recovers
+    per-rank elapsed time:
+
+    * ``step_seconds`` is the all-ranks total per step (summed ``atmosphere``
+      minus radiation, over ``steps``); the simulator divides it by the rank
+      count, giving the *average* per-rank step time — under concurrent
+      execution each rank's section clock already includes time spent waiting
+      for shared resources, so this average approximates the pool's elapsed
+      step time;
+    * radiation is band-decomposed, so its summed cost per radiation step is
+      ``rad_incl * n_atm_ranks / rad_calls``;
+    * ``coupler_seconds`` is the dedicated coupler rank's full per-step cost
+      (use ``coupler_offloaded=True`` in the simulator so it is charged as
+      overlap-hidden work, not divided across atmosphere ranks), and
+      ``coupler_exposed_seconds`` is its serially-dependent slice
+      (``merge_surface`` + ``fluxes``), which stays on the critical path;
+    * ``dynamics_seconds`` is the per-rank dynamics slice — the window the
+      concurrent schedule hides coupler/ocean work under (pass it as
+      ``overlap_seconds``);
+    * there is no distributed transpose in the concurrent driver (spectral
+      state is replicated), so ``transpose_seconds`` stays zero.
+    """
+    if n_atm_ranks < 1:
+        raise ValueError("need at least one atmosphere rank")
+    dyn_calls = profile.total_calls("atmosphere/dynamics")
+    steps = dyn_calls // n_atm_ranks
+    if steps == 0:
+        raise ValueError(
+            "profile has no full 'atmosphere/dynamics' step per atmosphere "
+            "rank — was it merged from a concurrent coupled run?")
+    atm_seconds = profile.total_inclusive("atmosphere")
+    rad_seconds = profile.total_inclusive("radiation")
+    rad_calls = profile.total_calls("radiation")
+    if rad_calls == 0:
+        raise ValueError(
+            "profile contains no radiation step; run at least one radiation "
+            "interval so radiation cost can be separated")
+    step_seconds = (atm_seconds - rad_seconds) / steps
+    radiation_step_seconds = step_seconds + rad_seconds * n_atm_ranks / rad_calls
+
+    n_ocean = profile.total_calls("ocean")
+    if n_ocean == 0:
+        raise ValueError(
+            "profile contains no ocean call; run at least one coupling "
+            "interval (ocean_coupling_interval of simulated time)")
+
+    exposed = (profile.total_inclusive("coupler/merge_surface")
+               + profile.total_inclusive("coupler/fluxes")) / steps
+
+    return MeasuredCosts(
+        step_seconds=step_seconds,
+        radiation_step_seconds=radiation_step_seconds,
+        coupler_seconds=profile.total_inclusive("coupler") / steps,
+        ocean_call_seconds=profile.total_inclusive("ocean") / n_ocean,
+        transpose_seconds=0.0,
+        dynamics_seconds=profile.total_inclusive("atmosphere/dynamics") / dyn_calls,
+        coupler_exposed_seconds=exposed,
+        item_bytes=_profile_item_bytes(profile),
+        source=profile.label or "concurrent-profile")

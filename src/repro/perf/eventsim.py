@@ -87,7 +87,10 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
                          imbalance: float = 0.10,
                          seed: int = 0,
                          transpose_comm=None,
-                         measured: MeasuredCosts | None = None) -> SimulationResult:
+                         measured: MeasuredCosts | None = None,
+                         schedule: str = "lagged",
+                         coupler_offloaded: bool = False,
+                         overlap_seconds: float = 0.0) -> SimulationResult:
     """Simulate one coupled simulated day; returns traces + throughput.
 
     ``transpose_comm`` optionally supplies measured per-rank
@@ -105,7 +108,25 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     day, coupling interval, decomposition limits) still comes from ``atm``
     and ``ocn``.  The resolved costs are reported on
     ``SimulationResult.per_step_costs`` either way.
+
+    The concurrent-coupled schedule of ``repro.parallel.coupled`` is modeled
+    by three knobs:
+
+    * ``schedule="sync"`` — the coupler consumes the ocean's SST at the step
+      right after each boundary (instead of one full coupling interval later,
+      the classic FOAM "lagged" schedule), so only ``overlap_seconds`` of the
+      ocean call is hidden under atmosphere compute; the remainder is charged
+      as an atmosphere wait at the boundary.
+    * ``coupler_offloaded=True`` — coupler work runs on a dedicated rank
+      concurrently with the atmosphere; only the part exceeding
+      ``overlap_seconds`` is exposed on the atmosphere's critical path
+      (instead of dividing the coupler across atmosphere ranks).
+    * ``overlap_seconds`` — the per-step window of atmosphere compute that
+      concurrent coupler/ocean work can hide under (calibrate it from a
+      measured ``MeasuredCosts.dynamics_seconds``).
     """
+    if schedule not in ("lagged", "sync"):
+        raise ValueError(f"unknown schedule {schedule!r}")
     machine = machine or ibm_sp2()
     atm = atm or AtmosphereCost()
     ocn = ocn or OceanCost()
@@ -131,16 +152,31 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     ocean_work_start = None
 
     if measured is not None:
-        coupler_time = measured.coupler_seconds / n_atm_ranks
+        coupler_full = measured.coupler_seconds
         step_seconds = measured.step_seconds
         radiation_step_seconds = measured.radiation_step_seconds
         ocean_call_seconds = measured.ocean_call_seconds
     else:
-        coupler_time = machine.compute_time(cpl.step_ops() / n_atm_ranks)
+        coupler_full = machine.compute_time(cpl.step_ops())
         step_seconds = machine.compute_time(atm.step_ops(radiation=False))
         radiation_step_seconds = machine.compute_time(atm.step_ops(radiation=True))
         ocean_call_seconds = machine.compute_time(ocn.call_ops())
-    if measured is not None and measured.transpose_seconds > 0.0:
+    if coupler_offloaded:
+        # Dedicated coupler rank: the serially-dependent slice (measured as
+        # coupler_exposed_seconds when available) stays on the atmosphere's
+        # clock; the rest hides under the overlap window.
+        exposed = getattr(measured, "coupler_exposed_seconds", None) \
+            if measured is not None else None
+        if exposed is not None:
+            coupler_time = exposed
+        else:
+            coupler_time = max(0.0, coupler_full - overlap_seconds)
+    else:
+        coupler_time = coupler_full / n_atm_ranks
+    if measured is not None and (measured.transpose_seconds > 0.0
+                                 or schedule == "sync"):
+        # A sync-schedule (concurrent) run replicates spectral state instead
+        # of transposing it, so a measured zero really means zero.
         transpose_time = measured.transpose_seconds
     else:
         if transpose_comm is not None:
@@ -151,9 +187,13 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
     per_step_costs = {
         "step_seconds": step_seconds,
         "radiation_step_seconds": radiation_step_seconds,
-        "coupler_seconds": coupler_time * n_atm_ranks,
+        "coupler_seconds": coupler_full,
+        "coupler_exposed_seconds": (coupler_time if coupler_offloaded
+                                    else coupler_full),
         "transpose_seconds": transpose_time,
         "ocean_call_seconds": ocean_call_seconds,
+        "schedule": schedule,
+        "overlap_seconds": overlap_seconds,
         "source": measured.source if measured is not None else "analytic",
     }
 
@@ -195,6 +235,16 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
                 ocean_call += 4 * machine.message_time(ocn.halo_bytes())
             ocean_work_start = t
             ocean_busy_until = t + ocean_call
+            if schedule == "sync":
+                # Synchronous SST consumption: the coupler needs this call's
+                # SST at the very next step, so only ``overlap_seconds`` of
+                # the call hides under atmosphere compute; the rest stalls
+                # the atmosphere right at the boundary.
+                wait = max(0.0, ocean_call - overlap_seconds)
+                if wait > 0.0:
+                    for tr in atm_traces:
+                        tr.record(t, t + wait, "idle")
+                    t += wait
 
     # Drain the final ocean call.
     if ocean_work_start is not None:
@@ -215,6 +265,103 @@ def simulate_coupled_day(n_atm_ranks: int, n_ocn_ranks: int = 1,
                             simulated_seconds=86400.0,
                             n_atm_ranks=n_atm_ranks, n_ocn_ranks=n_ocn_ranks,
                             per_step_costs=per_step_costs)
+
+
+def simulate_serial_day(machine: MachineModel | None = None,
+                        atm: AtmosphereCost | None = None,
+                        ocn: OceanCost | None = None,
+                        cpl: CouplerCost | None = None,
+                        measured: MeasuredCosts | None = None,
+                        seed: int = 0) -> SimulationResult:
+    """Simulate one coupled day on a single rank (everything inline).
+
+    The baseline the concurrent pool-split is judged against: one rank runs
+    every atmosphere step, the full coupler each step, and the ocean call
+    inline at each coupling boundary — no transpose, no overlap, no waits.
+    """
+    machine = machine or ibm_sp2()
+    atm = atm or AtmosphereCost()
+    ocn = ocn or OceanCost()
+    cpl = cpl or CouplerCost()
+    nsteps = atm.steps_per_day()
+    radiation_steps = {0, nsteps // 2}
+    steps_per_coupling = int(round(ocn.dt_long / atm.dt))
+
+    if measured is not None:
+        coupler_time = measured.coupler_seconds
+        step_seconds = measured.step_seconds
+        radiation_step_seconds = measured.radiation_step_seconds
+        ocean_call_seconds = measured.ocean_call_seconds
+    else:
+        coupler_time = machine.compute_time(cpl.step_ops())
+        step_seconds = machine.compute_time(atm.step_ops(radiation=False))
+        radiation_step_seconds = machine.compute_time(atm.step_ops(radiation=True))
+        ocean_call_seconds = machine.compute_time(ocn.call_ops())
+
+    tr = RankTrace(rank=0)
+    t = 0.0
+    for k in range(nsteps):
+        comp = (radiation_step_seconds if k in radiation_steps
+                else step_seconds)
+        tr.record(t, t + comp, "atmosphere")
+        t += comp
+        tr.record(t, t + coupler_time, "coupler")
+        t += coupler_time
+        if (k + 1) % steps_per_coupling == 0:
+            tr.record(t, t + ocean_call_seconds, "ocean")
+            t += ocean_call_seconds
+    per_step_costs = {
+        "step_seconds": step_seconds,
+        "radiation_step_seconds": radiation_step_seconds,
+        "coupler_seconds": coupler_time,
+        "transpose_seconds": 0.0,
+        "ocean_call_seconds": ocean_call_seconds,
+        "schedule": "serial",
+        "source": measured.source if measured is not None else "analytic",
+    }
+    return SimulationResult(traces=TraceSet([tr]), wall_seconds=t,
+                            simulated_seconds=86400.0,
+                            n_atm_ranks=1, n_ocn_ranks=0,
+                            per_step_costs=per_step_costs)
+
+
+def predict_concurrent_speedup(serial: MeasuredCosts,
+                               concurrent: MeasuredCosts,
+                               n_atm_ranks: int,
+                               n_ocn_ranks: int = 1,
+                               atm: AtmosphereCost | None = None,
+                               ocn: OceanCost | None = None,
+                               cpl: CouplerCost | None = None,
+                               machine: MachineModel | None = None) -> dict:
+    """Event-simulator prediction of the concurrent pool-split speedup.
+
+    ``serial`` comes from :func:`repro.perf.costmodel.calibrate_from_profile`
+    over a profiled serial ``run_days``; ``concurrent`` from
+    :func:`repro.perf.costmodel.calibrate_concurrent_from_profile` over the
+    merged per-rank profiles of a ``run_concurrent_coupled`` run.  Both runs
+    are replayed on the event simulator (the serial one inline on one rank,
+    the concurrent one with the sync schedule, an offloaded coupler, and the
+    measured per-step dynamics window as the overlap budget) and the ratio of
+    the simulated walls is the predicted speedup —  compared against the
+    functional walls by ``benchmarks/bench_coupled_concurrent.py``.
+
+    Returns a JSON-friendly dict: ``serial_wall_seconds`` /
+    ``concurrent_wall_seconds`` / ``speedup`` plus the concurrent run's
+    resolved ``per_step_costs``.
+    """
+    serial_sim = simulate_serial_day(machine=machine, atm=atm, ocn=ocn,
+                                     cpl=cpl, measured=serial)
+    concurrent_sim = simulate_coupled_day(
+        n_atm_ranks, n_ocn_ranks, machine=machine, atm=atm, ocn=ocn, cpl=cpl,
+        imbalance=0.0, measured=concurrent, schedule="sync",
+        coupler_offloaded=True,
+        overlap_seconds=concurrent.dynamics_seconds)
+    return {
+        "serial_wall_seconds": serial_sim.wall_seconds,
+        "concurrent_wall_seconds": concurrent_sim.wall_seconds,
+        "speedup": serial_sim.wall_seconds / concurrent_sim.wall_seconds,
+        "per_step_costs": concurrent_sim.per_step_costs,
+    }
 
 
 def simulate_ocean_day(n_ranks: int, machine: MachineModel | None = None,

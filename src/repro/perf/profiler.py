@@ -398,8 +398,100 @@ def _human_bytes(n: float) -> str:
 
 # ---------------------------------------------------------------------------
 # Default (module-level) profiler: what the instrumented library code uses.
+#
+# A thread may override it with ``thread_profiler(...)`` so simulated-MPI
+# rank threads each record into their own Profiler.  ``_tls_installs`` is a
+# fast-path guard: while it is zero (the usual, single-profiler case) the
+# hot-path hooks pay only one extra global-int truthiness check.
 # ---------------------------------------------------------------------------
 _default = Profiler(enabled=False)
+_tls = threading.local()
+_tls_installs = 0
+_tls_lock = threading.Lock()
+
+
+def _active_profiler() -> Profiler:
+    """This thread's profiler: the thread-local override, else the default."""
+    if _tls_installs:
+        override = getattr(_tls, "profiler", None)
+        if override is not None:
+            return override
+    return _default
+
+
+class thread_profiler:
+    """Context manager: route this thread's sections to ``profiler``.
+
+    The concurrent coupled driver wraps each rank thread's main loop in one
+    of these so every rank accumulates its own :class:`RunProfile` (merged
+    afterwards with :func:`merge_profiles`).  Other threads — and this
+    thread outside the with-block — keep using the process default.
+    Re-entrant: nesting restores the previous override on exit.
+    """
+
+    def __init__(self, profiler: Profiler):
+        self.profiler = profiler
+        self._previous = None
+
+    def __enter__(self) -> Profiler:
+        global _tls_installs
+        self._previous = getattr(_tls, "profiler", None)
+        _tls.profiler = self.profiler
+        with _tls_lock:
+            _tls_installs += 1
+        return self.profiler
+
+    def __exit__(self, *exc):
+        global _tls_installs
+        _tls.profiler = self._previous
+        with _tls_lock:
+            _tls_installs -= 1
+        return False
+
+
+def merge_profiles(profiles, label: str = "",
+                   meta: dict | None = None) -> RunProfile:
+    """Merge per-rank :class:`RunProfile` s into one aggregate profile.
+
+    Section calls, inclusive/exclusive seconds, and counters are summed by
+    path; profile-level counters are summed by name.  ``wall_seconds`` is
+    the *maximum* rank wall (the ranks ran concurrently), while the summed
+    section seconds keep the total work visible — so the merged profile's
+    overlap (accounted_seconds vs wall) is exactly what the concurrent
+    schedule hid.  Per-rank walls and labels land in ``meta``.
+    """
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("merge_profiles needs at least one profile")
+    nodes: dict[str, SectionStat] = {}
+    counters: dict[str, float] = {}
+    wall = 0.0
+    for p in profiles:
+        wall = max(wall, p.wall_seconds)
+        for k, v in p.counters.items():
+            counters[k] = counters.get(k, 0.0) + v
+        for s in p.sections:
+            agg = nodes.get(s.path)
+            if agg is None:
+                nodes[s.path] = SectionStat(
+                    path=s.path, calls=s.calls, inclusive=s.inclusive,
+                    exclusive=s.exclusive, counters=dict(s.counters))
+            else:
+                agg.calls += s.calls
+                agg.inclusive += s.inclusive
+                agg.exclusive += s.exclusive
+                for k, v in s.counters.items():
+                    agg.counters[k] = agg.counters.get(k, 0.0) + v
+    merged_meta = {
+        "merged_from": len(profiles),
+        "rank_walls": [p.wall_seconds for p in profiles],
+        "rank_labels": [p.label for p in profiles],
+    }
+    merged_meta.update(meta or {})
+    return RunProfile(label=label or f"merge of {len(profiles)} profiles",
+                      wall_seconds=wall,
+                      sections=[nodes[k] for k in sorted(nodes)],
+                      counters=counters, meta=merged_meta)
 
 
 def get_profiler() -> Profiler:
@@ -430,28 +522,28 @@ def profiling_enabled() -> bool:
 
 
 def profile_section(name: str):
-    """Section context manager on the default profiler (the hot-path hook)."""
-    prof = _default
+    """Section context manager on the active profiler (the hot-path hook)."""
+    prof = _active_profiler() if _tls_installs else _default
     if not prof.enabled:
         return _NULL_SECTION
     return _Section(prof, name)
 
 
 def profile_count(name: str, value: float = 1.0) -> None:
-    """Counter on the default profiler (no-op while disabled)."""
-    prof = _default
+    """Counter on the active profiler (no-op while disabled)."""
+    prof = _active_profiler() if _tls_installs else _default
     if prof.enabled:
         prof.count(name, value)
 
 
 def profiled(name: str | None = None):
-    """Decorator: time every call of ``fn`` as a section on the default profiler."""
+    """Decorator: time every call of ``fn`` as a section on the active profiler."""
     def decorate(fn):
         label = name or fn.__name__
 
         @wraps(fn)
         def wrapper(*args, **kwargs):
-            prof = _default
+            prof = _active_profiler() if _tls_installs else _default
             if not prof.enabled:
                 return fn(*args, **kwargs)
             with _Section(prof, label):

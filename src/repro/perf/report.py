@@ -9,6 +9,13 @@ between the real Python components and the modeled 1997 machine::
     PYTHONPATH=src python -m repro.perf.report --days 0.5
     PYTHONPATH=src python -m repro.perf.report --json profile.json
     PYTHONPATH=src python -m repro.perf.report --load profile.json
+    PYTHONPATH=src python -m repro.perf.report --atm-ranks 2 --ocn-ranks 1
+
+With ``--atm-ranks``/``--ocn-ranks`` the run executes *concurrently* on
+disjoint rank pools (:func:`repro.parallel.coupled.run_concurrent_coupled`);
+the table is then the merged per-rank profile, followed by the blocking-wait
+summary and the concurrent calibration
+(:func:`repro.perf.costmodel.calibrate_concurrent_from_profile`).
 
 This module imports :mod:`repro.core` (the whole coupled model), so it is
 *not* re-exported from ``repro.perf`` — the instrumented component modules
@@ -20,7 +27,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.perf.costmodel import calibrate_from_profile
+from repro.perf.costmodel import (
+    calibrate_concurrent_from_profile,
+    calibrate_from_profile,
+)
 from repro.perf.profiler import RunProfile, enable_profiling, take_profile
 
 
@@ -77,6 +87,59 @@ def profile_coupled_run(days: float = 1.0, config: str = "test",
               "backend": cfg.array_backend().name})
 
 
+def profile_concurrent_run(days: float = 1.0, config: str = "test",
+                           n_atm: int = 2, n_ocn: int = 1):
+    """Run the pool-split coupled driver with per-rank profiling.
+
+    Returns the :class:`repro.parallel.coupled.ConcurrentCoupledResult`
+    (merged profile on ``.profile``, per-rank ones on ``.profiles``).
+    """
+    from repro.core.config import paper_config, small_config, test_config
+    from repro.parallel.coupled import PoolLayout, run_concurrent_coupled
+
+    factories = {"test": test_config, "small": small_config,
+                 "paper": paper_config}
+    if config not in factories:
+        raise ValueError(f"unknown config {config!r}; pick from "
+                         f"{sorted(factories)}")
+    return run_concurrent_coupled(config=factories[config](), days=days,
+                                  layout=PoolLayout(n_atm=n_atm, n_ocn=n_ocn),
+                                  profile=True)
+
+
+def format_waits(result) -> str:
+    """Render a concurrent run's blocking-recv wait accounting."""
+    lines = [f"blocking waits over {result.wall_seconds:.3f} s wall "
+             f"({result.nsteps} steps):"]
+    for kind in sorted(result.waits):
+        lines.append(f"  {kind:12s} {result.waits[kind]:10.3f} s")
+    lines.append(f"  ocean busy  {result.ocean_busy_seconds:10.3f} s "
+                 f"({result.hidden_fraction:.0%} hidden under the "
+                 "atmosphere/coupler overlap)")
+    return "\n".join(lines)
+
+
+def format_concurrent_calibration(profile: RunProfile, n_atm: int) -> str:
+    """Render the sync-schedule costs calibrated from a merged profile."""
+    try:
+        mc = calibrate_concurrent_from_profile(profile, n_atm)
+    except ValueError as err:
+        return f"concurrent calibration unavailable: {err}"
+    lines = [
+        "calibrated concurrent-schedule costs (summed-rank seconds):",
+        f"  ordinary atmosphere step  {mc.step_seconds:12.6f}",
+        f"  radiation atmosphere step {mc.radiation_step_seconds:12.6f}",
+        f"  coupler per step          {mc.coupler_seconds:12.6f}"
+        f"  (exposed {mc.coupler_exposed_seconds:.6f})",
+        f"  dynamics overlap window   {mc.dynamics_seconds:12.6f}",
+        f"  ocean call                {mc.ocean_call_seconds:12.6f}",
+        "feed these into simulate_coupled_day(..., measured=..., "
+        "schedule='sync', coupler_offloaded=True) or "
+        "predict_concurrent_speedup(...).",
+    ]
+    return "\n".join(lines)
+
+
 def format_calibration(profile: RunProfile) -> str:
     """Render the event-simulator costs calibrated from ``profile``."""
     try:
@@ -125,10 +188,23 @@ def main(argv: list[str] | None = None) -> int:
                              "running the model")
     parser.add_argument("--min-fraction", type=float, default=0.0,
                         help="hide sections below this share of total time")
+    parser.add_argument("--atm-ranks", type=int, default=None, metavar="N",
+                        help="run concurrently with N atmosphere-pool ranks "
+                             "(adds a dedicated coupler rank)")
+    parser.add_argument("--ocn-ranks", type=int, default=1, metavar="N",
+                        help="ocean-pool ranks for --atm-ranks mode "
+                             "(default: 1)")
     args = parser.parse_args(argv)
 
+    result = None
     if args.load is not None:
         profile = RunProfile.load(args.load)
+    elif args.atm_ranks is not None:
+        result = profile_concurrent_run(days=args.days, config=args.config,
+                                        n_atm=args.atm_ranks,
+                                        n_ocn=args.ocn_ranks)
+        profile = result.profile
+
     else:
         profile = profile_coupled_run(days=args.days, config=args.config,
                                       seed=args.seed, dtype=args.dtype,
@@ -136,7 +212,12 @@ def main(argv: list[str] | None = None) -> int:
 
     print(profile.format_table(min_fraction=args.min_fraction))
     print()
-    print(format_calibration(profile))
+    if result is not None:
+        print(format_waits(result))
+        print()
+        print(format_concurrent_calibration(profile, args.atm_ranks))
+    else:
+        print(format_calibration(profile))
 
     if args.json is not None:
         profile.save(args.json)

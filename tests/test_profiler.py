@@ -282,3 +282,92 @@ def test_default_profiler_starts_disabled():
     # The library-wide default must not record in normal (unprofiled) runs.
     assert isinstance(get_profiler(), Profiler)
     assert not profiling_enabled()
+
+
+# ------------------------------------------------- thread-local routing
+def test_thread_profiler_routes_sections_to_local_profiler():
+    """Inside the context, hooks hit the installed per-thread profiler."""
+    from repro.perf.profiler import merge_profiles, thread_profiler
+
+    mine = Profiler(enabled=True)
+    with thread_profiler(mine):
+        with profile_section("work"):
+            profile_count("items", 3)
+    prof = mine.snapshot(label="tls")
+    assert prof.total_calls("work") == 1
+    assert prof.get("work").counters["items"] == 3
+    # Nothing leaked to the process-wide default profiler.
+    assert get_profiler().snapshot().sections == []
+    _ = merge_profiles  # imported together; used by the tests below
+
+
+def test_thread_profiler_is_reentrant_and_restores():
+    from repro.perf.profiler import thread_profiler
+
+    outer, inner = Profiler(enabled=True), Profiler(enabled=True)
+    with thread_profiler(outer):
+        with profile_section("outer_only"):
+            pass
+        with thread_profiler(inner):
+            with profile_section("inner_only"):
+                pass
+        with profile_section("outer_again"):
+            pass
+    out = outer.snapshot()
+    assert out.total_calls("outer_only") == 1
+    assert out.total_calls("outer_again") == 1
+    assert out.total_calls("inner_only") == 0
+    assert inner.snapshot().total_calls("inner_only") == 1
+
+
+def test_thread_profiler_isolated_between_threads():
+    """Two rank-style threads record into disjoint profilers."""
+    from repro.perf.profiler import thread_profiler
+
+    profs = [Profiler(enabled=True) for _ in range(2)]
+
+    def work(i):
+        with thread_profiler(profs[i]):
+            for _ in range(i + 1):
+                with profile_section("step"):
+                    pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert profs[0].snapshot().total_calls("step") == 1
+    assert profs[1].snapshot().total_calls("step") == 2
+
+
+# ---------------------------------------------------------------- merging
+def _profile_with(label, path, calls, seconds, wall):
+    from repro.perf.profiler import SectionStat
+    return RunProfile(label=label, wall_seconds=wall, sections=[
+        SectionStat(path=path, calls=calls, inclusive=seconds,
+                    exclusive=seconds)])
+
+
+def test_merge_profiles_sums_sections_and_maxes_wall():
+    from repro.perf.profiler import merge_profiles
+
+    a = _profile_with("rank0", "atmosphere", 4, 2.0, wall=5.0)
+    b = _profile_with("rank1", "atmosphere", 4, 3.0, wall=4.0)
+    merged = merge_profiles([a, b], label="both")
+    assert merged.total_calls("atmosphere") == 8
+    assert merged.total_inclusive("atmosphere") == pytest.approx(5.0)
+    assert merged.wall_seconds == pytest.approx(5.0)   # max, not sum
+    assert merged.meta["merged_from"] == 2
+    assert merged.meta["rank_walls"] == [5.0, 4.0]
+    assert merged.meta["rank_labels"] == ["rank0", "rank1"]
+
+
+def test_merge_profiles_user_meta_and_empty():
+    from repro.perf.profiler import merge_profiles
+
+    a = _profile_with("a", "x", 1, 1.0, wall=1.0)
+    merged = merge_profiles([a], meta={"nsteps": 7})
+    assert merged.meta["nsteps"] == 7
+    with pytest.raises(ValueError):
+        merge_profiles([])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import ANY_SOURCE, CommError, run_ranks
+from repro.parallel import ANY_SOURCE, CommError, DeadlockError, run_ranks
 
 pytestmark = pytest.mark.parallel
 
@@ -207,3 +207,88 @@ def test_bytes_accounting():
     out = run_ranks(2, worker)
     assert out[0] == 8000
     assert out[1] == 0
+
+
+# -------------------------------------------------------------------- split
+def test_split_groups_and_sizes():
+    """color partitions the world; sub-ranks are dense and ordered by rank."""
+    def worker(comm):
+        sub = comm.split(comm.rank % 2)
+        return (sub.rank, sub.size)
+
+    out = run_ranks(4, worker)
+    # Even world ranks 0,2 -> sub ranks 0,1; odd world ranks 1,3 likewise.
+    assert out == [(0, 2), (0, 2), (1, 2), (1, 2)]
+
+
+def test_split_key_reverses_order():
+    def worker(comm):
+        sub = comm.split(0, key=-comm.rank)
+        return sub.rank
+
+    assert run_ranks(3, worker) == [2, 1, 0]
+
+
+def test_split_color_none_opts_out():
+    def worker(comm):
+        sub = comm.split(None if comm.rank == 2 else 0)
+        if sub is None:
+            return None
+        return sub.allreduce(comm.rank, op="sum")
+
+    assert run_ranks(3, worker) == [1, 1, None]
+
+
+def test_split_collectives_stay_inside_group():
+    def worker(comm):
+        sub = comm.split(comm.rank // 2)
+        return sub.allgather(comm.rank)
+
+    out = run_ranks(4, worker)
+    assert out == [[0, 1], [0, 1], [2, 3], [2, 3]]
+
+
+def test_split_tag_isolation_from_world():
+    """The same (source, tag) on world and sub-communicator never cross."""
+    def worker(comm):
+        sub = comm.split(0)
+        if comm.rank == 0:
+            comm.send("world", dest=1, tag=7)
+            sub.send("sub", dest=1, tag=7)
+            return None
+        got_sub = sub.recv(source=0, tag=7)
+        got_world = comm.recv(source=0, tag=7)
+        return (got_sub, got_world)
+
+    out = run_ranks(2, worker)
+    assert out[1] == ("sub", "world")
+
+
+def test_split_point_to_point_uses_group_ranks():
+    """Sub-communicator rank numbering is local to the group."""
+    def worker(comm):
+        sub = comm.split(comm.rank % 2)   # group of world ranks {1, 3}
+        if comm.rank == 1:
+            sub.send(comm.rank, dest=1)   # sub rank 1 == world rank 3
+            return None
+        if comm.rank == 3:
+            return sub.recv(source=0)     # sub rank 0 == world rank 1
+        return None
+
+    assert run_ranks(4, worker)[3] == 1
+
+
+def test_split_deadlock_reports_world_ranks():
+    """A wedge inside a sub-communicator is named in world ranks."""
+    def worker(comm):
+        sub = comm.split(comm.rank // 2)  # {0,1} and {2,3}
+        if comm.rank < 2:
+            return sub.allreduce(1, op="sum")   # healthy group
+        return sub.recv(source=1 - sub.rank, tag=9)   # {2,3} wedge each other
+
+    with pytest.raises(DeadlockError) as excinfo:
+        run_ranks(4, worker, timeout=60.0)
+    report = excinfo.value.report
+    assert set(report.ranks) == {2, 3}
+    for b in report.blocked:
+        assert b.peer == 5 - b.rank       # world rank of the sub peer

@@ -246,3 +246,64 @@ def test_spectral_filter_damps_high_wavenumbers_only(r15):
 def test_spectral_filter_rejects_odd_order(r15):
     with pytest.raises(ValueError):
         r15.spectral_filter(np.zeros(r15.spec_shape), order=3)
+
+
+# ------------------------------------------- batched Legendre kernels (ISSUE 5)
+def test_batched_legendre_bitwise_matches_reference():
+    """The stacked per-k recurrence reproduces the per-m loop bit for bit."""
+    from repro.atmosphere.spectral import _associated_legendre_ref
+
+    for nlat, mmax, nkmax in ((40, 15, 17), (24, 8, 10), (8, 3, 5)):
+        mu, _ = gaussian_latitudes(nlat)
+        batched = associated_legendre(mu, mmax, nkmax)
+        ref = _associated_legendre_ref(mu, mmax, nkmax)
+        assert batched.dtype == ref.dtype
+        assert batched.tobytes() == ref.tobytes()
+
+
+def test_batched_legendre_derivative_bitwise_matches_reference():
+    from repro.atmosphere.spectral import (
+        _legendre_derivative_ref,
+        legendre_derivative,
+    )
+
+    for nlat, mmax, nk in ((40, 15, 16), (24, 8, 9)):
+        mu, _ = gaussian_latitudes(nlat)
+        pbar_ext = associated_legendre(mu, mmax, nk + 1)
+        batched = legendre_derivative(mu, pbar_ext)
+        ref = _legendre_derivative_ref(mu, pbar_ext)
+        assert batched.tobytes() == ref.tobytes()
+
+
+def test_legendre_plan_cache_shares_tables():
+    from repro.atmosphere.spectral import (
+        clear_legendre_plans,
+        legendre_plan,
+        legendre_plan_stats,
+    )
+
+    clear_legendre_plans()
+    p1, h1 = legendre_plan(24, 8, 10)
+    p2, h2 = legendre_plan(24, 8, 10)
+    assert p1 is p2 and h1 is h2          # cached, not rebuilt
+    assert not p1.flags.writeable and not h1.flags.writeable
+    stats = legendre_plan_stats()
+    assert stats["builds"] == 1 and stats["hits"] == 1
+    legendre_plan(24, 9, 10)              # different key -> new build
+    assert legendre_plan_stats()["builds"] == 2
+    clear_legendre_plans()
+    assert legendre_plan_stats() == {"builds": 0, "hits": 0}
+
+
+def test_transforms_share_cached_plan():
+    """Two transforms at one resolution read the same plan arrays."""
+    from repro.atmosphere.spectral import clear_legendre_plans
+
+    clear_legendre_plans()
+    tr1 = SpectralTransform(nlat=24, nlon=32, trunc=Truncation(8))
+    tr2 = SpectralTransform(nlat=24, nlon=32, trunc=Truncation(8))
+    # At float64 the astype(copy=False) keeps the cached arrays themselves:
+    # hbar is the shared table, pbar a view of the shared extended table.
+    assert tr1.hbar is tr2.hbar
+    assert tr1.pbar.base is not None
+    assert tr1.pbar.base is tr2.pbar.base
