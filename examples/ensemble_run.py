@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Batched ensemble run: N perturbed members through one coupled model.
+
+Builds a :class:`repro.core.FoamEnsemble` whose members share one
+:class:`~repro.core.FoamModel` and advance together through every coupled
+step — the spectral transforms, dynamics, physics columns, ocean, and
+coupler all operate on arrays with a leading member axis, so python and
+numpy dispatch overhead is paid once per step instead of once per member.
+
+The script perturbs initial vorticity, integrates two simulated days,
+compares the batched wall time against the member-at-a-time loop it
+replaces, and prints the ensemble spread a forecaster looks at first.
+
+Run:  python examples/ensemble_run.py [--nens 8] [--days 2]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import EnsembleConfig, FoamEnsemble, FoamModel, test_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nens", type=int, default=8,
+                        help="ensemble members (default: 8)")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="simulated days to integrate (default: 2)")
+    parser.add_argument("--perturbation", type=float, default=1e-7,
+                        help="initial vorticity noise amplitude (default: 1e-7)")
+    args = parser.parse_args()
+
+    print("=== FOAM batched ensemble ===")
+    cfg = test_config()
+    steps = max(1, int(round(args.days * 86400.0 / cfg.atm_dt)))
+    print(f"{args.nens} members, {steps} coupled steps "
+          f"({args.days:g} simulated days)")
+
+    ens = FoamEnsemble(EnsembleConfig(nens=args.nens, base=cfg,
+                                      ic_perturbation=args.perturbation))
+    state = ens.initial_state()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        state = ens.step(state)
+    batched = time.perf_counter() - t0
+    print(f"batched:    {batched:6.2f} s "
+          f"({batched / steps / args.nens * 1e3:.1f} ms per member-step)")
+
+    # The loop the batch replaces: same members, stepped one at a time.
+    model = FoamModel(test_config())
+    t0 = time.perf_counter()
+    for e in range(args.nens):
+        member = ens.member_state(ens.initial_state(), e)
+        for _ in range(steps):
+            member = model.coupled_step(member)
+    sequential = time.perf_counter() - t0
+    print(f"sequential: {sequential:6.2f} s "
+          f"-> batched speedup {sequential / batched:.2f}x")
+
+    # Ensemble spread: the perturbation growth a forecaster reads first.
+    members = [ens.member_state(state, e) for e in range(args.nens)]
+    sst = np.stack([m.ocean.temp[0] for m in members])
+    t_low = np.stack([m.atm_curr.temp[-1] for m in members])
+    print(f"SST member spread (max over grid):        "
+          f"{np.max(np.std(sst, axis=0)):.3e} K")
+    print(f"lowest-level temperature spectral spread: "
+          f"{np.max(np.std(np.abs(t_low), axis=0)):.3e}")
+
+
+if __name__ == "__main__":
+    main()

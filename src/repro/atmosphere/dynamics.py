@@ -79,7 +79,12 @@ class SpectralDynamicalCore:
         self.tr = transform
         self.vg = vgrid
         self.dt = float(dt)
-        self.robert = float(robert)
+        # Scalar, or a per-member array broadcastable against every state
+        # field (e.g. (nens, 1, 1) from the ensemble driver).  0-d arrays
+        # collapse to python floats: a 0-d float64 array would silently
+        # upcast float32/complex64 state through the Robert filter.
+        self.robert = (robert if isinstance(robert, np.ndarray) and robert.ndim
+                       else float(robert))
         self.semi_implicit = bool(semi_implicit)
         # CCM2 R15 recommended del^4 coefficient scales with resolution
         # (Williamson et al. 1995); default tuned so the smallest retained
@@ -161,12 +166,18 @@ class SpectralDynamicalCore:
     # ------------------------------------------------------------------
     @profiled("diagnose")
     def diagnose(self, state: AtmosphereState) -> GridDiagnostics:
-        """Synthesize all grid fields the physics and coupler need."""
+        """Synthesize all grid fields the physics and coupler need.
+
+        Accepts serial states ((L, nm, nk) spectral fields) and ensemble
+        states with a member axis after the level axis ((L, E, nm, nk));
+        grid diagnostics then carry the member axis in the same slot.
+        """
         L = self.vg.nlev
         fdt = self.tr.policy.float_dtype
+        bshape = state.vort.shape[1:-2]          # () serial, (nens,) batched
         # Diagnostics escape into GridDiagnostics, so they are freshly
         # allocated (never workspace buffers) — only their dtype is policy.
-        u = np.empty((L, self.tr.nlat, self.tr.nlon), dtype=fdt)
+        u = np.empty((L,) + bshape + (self.tr.nlat, self.tr.nlon), dtype=fdt)
         v = np.empty_like(u)
         tg = np.empty_like(u)
         zg = np.empty_like(u)
@@ -178,7 +189,7 @@ class SpectralDynamicalCore:
             dg[l] = self.tr.synthesize(state.div[l])
         lnps = self.tr.synthesize(state.lnps)
         ps = P0 * np.exp(lnps)
-        pressure = self.vg.sigma[:, None, None] * ps[None, :, :]
+        pressure = self.vg.sigma.reshape((-1,) + (1,) * ps.ndim) * ps[None]
         phi = self.vg.geopotential(tg).astype(fdt, copy=False)
         px, py = self.tr.gradient(state.lnps)
         vgradp = u * px[None] + v * py[None]
@@ -205,7 +216,7 @@ class SpectralDynamicalCore:
         c = d.div + vgradp
 
         # Continuity: nonlinear part only (the -dsig.D part goes implicit).
-        dsig = vg.dsigma[:, None, None]
+        dsig = vg.dsigma.reshape((-1,) + (1,) * (vgradp.ndim - 1))
         npi_grid = -np.sum(dsig * vgradp, axis=0)
         n_pi = tr.analyze(npi_grid)
 
@@ -274,7 +285,7 @@ class SpectralDynamicalCore:
                 new_temp = prev.temp + 2.0 * dt * (
                     n_temp - np.tensordot(tau, curr.div, axes=(1, 0)))
                 new_lnps = prev.lnps + 2.0 * dt * (
-                    n_pi - np.tensordot(dsig, curr.div, axes=(0, 0)))
+                    n_pi - self._dsig_dot(dsig, curr.div))
 
         # Mixed-precision leakage guard: the float64 implicit solver tables
         # upcast the update under a float32 policy; pin state dtype here.
@@ -309,6 +320,22 @@ class SpectralDynamicalCore:
     def _lap3(self, spec3: np.ndarray) -> np.ndarray:
         """Laplacian applied along the last two (spectral) axes of (L, nm, nk)."""
         return spec3 * self.tr._lap[None]
+
+    @staticmethod
+    def _dsig_dot(dsig: np.ndarray, field: np.ndarray) -> np.ndarray:
+        """Contract the level axis of ``field`` ((L, ...)) with ``dsig`` ((L,)).
+
+        A single tensordot over a member-batched operand is a gemv whose
+        accumulation order differs from the serial per-member call, so for
+        batched fields each member is contracted separately — bitwise
+        identical to serial member-at-a-time integration.
+        """
+        if field.ndim == 3:
+            return np.tensordot(dsig, field, axes=(0, 0))
+        out = np.empty(field.shape[1:], dtype=field.dtype)
+        for e in range(field.shape[1]):
+            out[e] = np.tensordot(dsig, field[:, e], axes=(0, 0))
+        return out
 
     def _hyperdiffuse(self, spec3: np.ndarray) -> np.ndarray:
         # The implicit damping denominator depends only on (truncation, dt);
@@ -346,20 +373,26 @@ class SpectralDynamicalCore:
             - dt * dt * b[None] * md_prev
 
         # Solve (I + dt^2 b M) D+ = rhs, gathering coefficients by n.
+        # Batched fields solve member-at-a-time: a single gemm over all
+        # members' gathered columns widens N and shifts BLAS blocking, which
+        # perturbs the last bits relative to the serial solve.  The gathered
+        # (L, S_n) operand per member is byte-identical to the serial one.
         new_div = np.empty_like(prev.div)
-        flat_rhs = rhs.reshape(L, -1)                      # (L, S)
-        flat_new = new_div.reshape(L, -1)
+        flat_rhs = rhs.reshape(L, -1, n_vals.size)         # (L, E|1, S)
+        flat_new = new_div.reshape(L, -1, n_vals.size)
         flat_n = n_vals.reshape(-1)
         for n in np.unique(flat_n):
             cols = flat_n == n
-            flat_new[:, cols] = self._inv[n] @ flat_rhs[:, cols]
+            inv = self._inv[n]
+            for e in range(flat_rhs.shape[1]):
+                flat_new[:, e][:, cols] = inv @ flat_rhs[:, e][:, cols]
         new_div = flat_new.reshape(prev.div.shape)
 
         dbar = 0.5 * (new_div + prev.div)
         new_temp = prev.temp + 2.0 * dt * n_temp \
             - 2.0 * dt * np.tensordot(tau, dbar, axes=(1, 0))
         new_lnps = prev.lnps + 2.0 * dt * n_pi \
-            - 2.0 * dt * np.tensordot(dsig, dbar, axes=(0, 0))
+            - 2.0 * dt * self._dsig_dot(dsig, dbar)
         return new_div, new_temp, new_lnps
 
     # ------------------------------------------------------------------

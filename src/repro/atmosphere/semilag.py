@@ -22,13 +22,15 @@ from repro.backend import get_workspace
 
 def _bilinear_sphere(field: np.ndarray, lats: np.ndarray, lons: np.ndarray,
                      lat_d: np.ndarray, lon_d: np.ndarray) -> np.ndarray:
-    """Bilinear interpolation on a (nlat, nlon) lat-lon grid.
+    """Bilinear interpolation on a (..., nlat, nlon) lat-lon grid.
 
     Longitude wraps periodically; latitude is clamped to the Gaussian grid's
     span (trajectories crossing the pole are rare at climate time steps and
-    are handled by the clamp).
+    are handled by the clamp).  Leading (ensemble) axes on ``field`` must
+    match leading axes on the departure coordinates; each member is then
+    interpolated from its own field.
     """
-    nlat, nlon = field.shape
+    nlat, nlon = field.shape[-2:]
     dlon = 2.0 * np.pi / nlon
 
     # Non-finite departure points (a blown-up wind field) fall back to zero;
@@ -49,19 +51,55 @@ def _bilinear_sphere(field: np.ndarray, lats: np.ndarray, lons: np.ndarray,
     denom = lats[j1] - lats[j0]
     wy = np.clip((lat_d - lats[j0]) / denom, 0.0, 1.0)
 
-    f00 = field[j0, i0]
-    f01 = field[j0, i1]
-    f10 = field[j1, i0]
-    f11 = field[j1, i1]
-    return ((1 - wy) * ((1 - wx) * f00 + wx * f01)
-            + wy * ((1 - wx) * f10 + wx * f11))
+    # Flattened-index gathers: np.take on a 1-D view moves the same elements
+    # as the 2-D fancy index (bitwise-identical) at a fraction of the cost.
+    j0n = j0 * nlon
+    j1n = j1 * nlon
+    idx00 = j0n + i0
+    idx01 = j0n + i1
+    idx10 = j1n + i0
+    idx11 = j1n + i1
+    if field.ndim > 2:
+        # Batched members gather from their own slab; the member offset on
+        # the flat index keeps the same elementwise arithmetic as the 2-D
+        # path.
+        base = (np.arange(field.shape[0]) * (nlat * nlon)).reshape(
+            (-1,) + (1,) * (field.ndim - 1))
+        idx00 = idx00 + base
+        idx01 = idx01 + base
+        idx10 = idx10 + base
+        idx11 = idx11 + base
+    # Gather the four corners into preallocated buffers, then combine them
+    # into float64 work buffers: the same pairwise operations on the same
+    # operands as ``(1-wy)*((1-wx)*f00 + wx*f01) + wy*((1-wx)*f10 + wx*f11)``
+    # (a float64 ``out=`` widens float32 gathers exactly, matching the
+    # expression form's dtype promotion).
+    ws = get_workspace()
+    rt = np.result_type(field.dtype, np.float64)
+    shape = idx00.shape
+    flat = field.reshape(-1)
+    f00 = np.take(flat, idx00, out=ws.empty("semilag.f00", shape, flat.dtype))
+    f01 = np.take(flat, idx01, out=ws.empty("semilag.f01", shape, flat.dtype))
+    f10 = np.take(flat, idx10, out=ws.empty("semilag.f10", shape, flat.dtype))
+    f11 = np.take(flat, idx11, out=ws.empty("semilag.f11", shape, flat.dtype))
+    wx1 = np.subtract(1.0, wx, out=ws.empty("semilag.wx1", wx.shape, rt))
+    wy1 = np.subtract(1.0, wy, out=ws.empty("semilag.wy1", wy.shape, rt))
+    t00 = np.multiply(f00, wx1, out=ws.empty("semilag.t00", shape, rt))
+    t01 = np.multiply(f01, wx, out=ws.empty("semilag.t01", shape, rt))
+    t00 += t01                          # (1-wx)*f00 + wx*f01
+    t10 = np.multiply(f10, wx1, out=ws.empty("semilag.t10", shape, rt))
+    t11 = np.multiply(f11, wx, out=ws.empty("semilag.t11", shape, rt))
+    t10 += t11                          # (1-wx)*f10 + wx*f11
+    np.multiply(t00, wy1, out=t00)
+    np.multiply(t10, wy, out=t10)
+    return t00 + t10                    # fresh array: outlives the workspace
 
 
 def departure_points(tr: SpectralTransform, u: np.ndarray, v: np.ndarray,
                      dt: float) -> tuple[np.ndarray, np.ndarray]:
     """Upstream departure (lat, lon) for every grid point, one midpoint pass."""
     ws = get_workspace()
-    shape = (tr.nlat, tr.nlon)
+    shape = u.shape                     # (nlat, nlon), batched: (E, nlat, nlon)
     lat2 = ws.empty("semilag.lat2", shape, np.float64)
     lat2[:] = tr.lats[:, None]
     lon2 = ws.empty("semilag.lon2", shape, np.float64)

@@ -341,24 +341,31 @@ class SpectralTransform:
 
     @profiled("spectral.analyze")
     def analyze(self, grid: np.ndarray) -> np.ndarray:
-        """Grid (nlat, nlon) -> spectral coefficients (nm, nk), complex."""
+        """Grid (..., nlat, nlon) -> spectral coefficients (..., nm, nk).
+
+        Leading (batch/ensemble) axes pass straight through: the quadrature
+        einsum contracts latitude per batch member with the same summation
+        order as the unbatched call, so batched results are bitwise
+        identical to member-at-a-time calls.
+        """
         fm = self._fourier(grid)
         ws = get_workspace()
-        spec = np.einsum("jm,jmk->mk", fm, self._wp,
-                         out=ws.empty("spectral.analyze.spec", self.spec_shape,
+        spec = np.einsum("...jm,jmk->...mk", fm, self._wp,
+                         out=ws.empty("spectral.analyze.spec",
+                                      fm.shape[:-2] + self.spec_shape,
                                       np.result_type(fm, self._wp)))
         return spec * self._mask
 
     @profiled("spectral.synthesize")
     def synthesize(self, spec: np.ndarray) -> np.ndarray:
-        """Spectral (nm, nk) -> grid (nlat, nlon), real."""
+        """Spectral (..., nm, nk) -> grid (..., nlat, nlon), real."""
         ws = get_workspace()
         masked = np.multiply(spec, self._mask,
                              out=ws.empty("spectral.synth.masked",
                                           spec.shape, spec.dtype))
-        fm = np.einsum("mk,jmk->jm", masked, self.pbar,
+        fm = np.einsum("...mk,jmk->...jm", masked, self.pbar,
                        out=ws.empty("spectral.synth.fm",
-                                    (self.nlat, self.trunc.nm),
+                                    spec.shape[:-2] + (self.nlat, self.trunc.nm),
                                     np.result_type(spec, self.pbar)))
         return self._inverse_fourier(fm)
 
@@ -398,20 +405,20 @@ class SpectralTransform:
         t1 = np.multiply(self._im, chi, out=ws.empty("spectral.uv.t1", shape, sdt))
         t1 = np.multiply(t1, self._mask, out=t1)
         t2 = np.multiply(psi, self._mask, out=ws.empty("spectral.uv.t2", shape, sdt))
-        fm_shape = (self.nlat, self.trunc.nm)
+        fm_shape = shape[:-2] + (self.nlat, self.trunc.nm)
         fdt = np.result_type(sdt, self.pbar)
-        e1 = np.einsum("mk,jmk->jm", t1, self.pbar,
+        e1 = np.einsum("...mk,jmk->...jm", t1, self.pbar,
                        out=ws.empty("spectral.uv.ufm", fm_shape, fdt))
-        e2 = np.einsum("mk,jmk->jm", t2, self.hbar,
+        e2 = np.einsum("...mk,jmk->...jm", t2, self.hbar,
                        out=ws.empty("spectral.uv.e2", fm_shape, fdt))
         u_fm = np.subtract(e1, e2, out=e1)
         u_fm /= self.radius
         t1 = np.multiply(self._im, psi, out=t1)
         t1 = np.multiply(t1, self._mask, out=t1)
         t2 = np.multiply(chi, self._mask, out=t2)
-        e3 = np.einsum("mk,jmk->jm", t1, self.pbar,
+        e3 = np.einsum("...mk,jmk->...jm", t1, self.pbar,
                        out=ws.empty("spectral.uv.vfm", fm_shape, fdt))
-        e4 = np.einsum("mk,jmk->jm", t2, self.hbar,
+        e4 = np.einsum("...mk,jmk->...jm", t2, self.hbar,
                        out=ws.empty("spectral.uv.e4", fm_shape, fdt))
         v_fm = np.add(e3, e4, out=e3)
         v_fm /= self.radius
@@ -435,17 +442,18 @@ class SpectralTransform:
         u_fm = self._fourier(u * cos) * over_c2[:, None]
         v_fm = self._fourier(v * cos) * over_c2[:, None]
         sdt = np.result_type(u_fm, self._wp)
-        e1 = np.einsum("jm,jmk->mk", v_fm, self._wp,
-                       out=ws.empty("spectral.vd.e1", self.spec_shape, sdt))
-        e2 = np.einsum("jm,jmk->mk", u_fm, self._wh,
-                       out=ws.empty("spectral.vd.e2", self.spec_shape, sdt))
+        sp_shape = u_fm.shape[:-2] + self.spec_shape
+        e1 = np.einsum("...jm,jmk->...mk", v_fm, self._wp,
+                       out=ws.empty("spectral.vd.e1", sp_shape, sdt))
+        e2 = np.einsum("...jm,jmk->...mk", u_fm, self._wh,
+                       out=ws.empty("spectral.vd.e2", sp_shape, sdt))
         e1 = np.multiply(self._im, e1, out=e1)
         vort = np.add(e1, e2, out=e1)
         vort /= self.radius
-        e3 = np.einsum("jm,jmk->mk", u_fm, self._wp,
-                       out=ws.empty("spectral.vd.e3", self.spec_shape, sdt))
-        e4 = np.einsum("jm,jmk->mk", v_fm, self._wh,
-                       out=ws.empty("spectral.vd.e4", self.spec_shape, sdt))
+        e3 = np.einsum("...jm,jmk->...mk", u_fm, self._wp,
+                       out=ws.empty("spectral.vd.e3", sp_shape, sdt))
+        e4 = np.einsum("...jm,jmk->...mk", v_fm, self._wh,
+                       out=ws.empty("spectral.vd.e4", sp_shape, sdt))
         e3 = np.multiply(self._im, e3, out=e3)
         div = np.subtract(e3, e4, out=e3)
         div /= self.radius
@@ -464,11 +472,11 @@ class SpectralTransform:
         t1 = np.multiply(t1, self._mask, out=t1)
         t2 = np.multiply(spec, self._mask,
                          out=ws.empty("spectral.grad.t2", spec.shape, spec.dtype))
-        fm_shape = (self.nlat, self.trunc.nm)
+        fm_shape = spec.shape[:-2] + (self.nlat, self.trunc.nm)
         fdt = np.result_type(t1, self.pbar)
-        fx_fm = np.einsum("mk,jmk->jm", t1, self.pbar,
+        fx_fm = np.einsum("...mk,jmk->...jm", t1, self.pbar,
                           out=ws.empty("spectral.grad.fx", fm_shape, fdt))
-        fy_fm = np.einsum("mk,jmk->jm", t2, self.hbar,
+        fy_fm = np.einsum("...mk,jmk->...jm", t2, self.hbar,
                           out=ws.empty("spectral.grad.fy", fm_shape, fdt))
         fx = self._inverse_fourier(fx_fm) / self._rcos
         fy = self._inverse_fourier(fy_fm) / self._rcos

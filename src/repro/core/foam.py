@@ -96,16 +96,28 @@ class FoamModel:
                                    self.ocean_grid.lats, cfg.ocn_nx,
                                    land_mask, rng_seed=cfg.seed + 7,
                                    dtype=policy)
-        # Running ocean-forcing accumulator between ocean calls.
+        # Running ocean-forcing accumulator between ocean calls.  The
+        # ensemble driver sets ``_ens_shape = (nens,)`` so the accumulator
+        # (and nothing else constructed here) carries a member axis.
+        self._ens_shape: tuple = ()
         self._reset_ocean_accumulator()
 
     # ------------------------------------------------------------------
     def _reset_ocean_accumulator(self) -> None:
         ny, nx = self.ocean_grid.ny, self.ocean_grid.nx
-        self._acc = OceanForcing.zeros(ny, nx, dtype=self.policy.float_dtype)
+        self._acc = OceanForcing.zeros(ny, nx, dtype=self.policy.float_dtype,
+                                       lead=self._ens_shape)
         self._acc_steps = 0
 
-    def initial_state(self, seed: int | None = None) -> FoamState:
+    def initial_state(self, seed: int | None = None,
+                      perturb=None) -> FoamState:
+        """Build the coupled initial state.
+
+        ``perturb(atm)`` may mutate the atmosphere state in place before the
+        leapfrog forward start — the ensemble driver injects per-member
+        initial-condition noise here so the perturbation participates in the
+        half-step exactly as it would in a standalone run.
+        """
         seed = self.config.seed if seed is None else seed
         atm = self.dycore.initial_state("isothermal_rest", seed=seed,
                                         noise_amplitude=1e-8)
@@ -120,6 +132,8 @@ class FoamModel:
         atm.q = np.minimum(
             rh_profile * saturation_mixing_ratio(diag.temp, diag.pressure),
             0.025).astype(self.policy.float_dtype, copy=False)
+        if perturb is not None:
+            perturb(atm)
         ocn = self.ocean.initial_state()
         cpl = self.coupler.initial_state()
         prev = atm
@@ -162,6 +176,9 @@ class FoamModel:
         """
         cfg = self.config
         tr = self.transform
+        if diag.temp.ndim == 4:
+            return self._physics_kernel_batched(diag, q, surface,
+                                                external_fluxes, time=time)
         if rows is None:
             return self.physics.compute(
                 temp=diag.temp, q=q, u=diag.u, v=diag.v,
@@ -184,6 +201,52 @@ class FoamModel:
             geopotential=diag.geopotential[:, sl], dsigma=self.vgrid.dsigma,
             surface=sub, dt=cfg.atm_dt, time=time,
             lats=tr.lats[sl], lons=tr.lons, external_fluxes=ext)
+
+    def _physics_kernel_batched(self, diag, q, surface, external_fluxes, *,
+                                time: float):
+        """Ensemble physics: fold members into the latitude axis.
+
+        Physics is column-local, so running the batch as one wide grid of
+        ``nens * nlat`` rows (with the latitude array tiled member-major) is
+        bitwise identical per member to member-at-a-time calls — the same
+        columns see the same elementwise arithmetic, just stacked.
+        """
+        from repro.atmosphere.physics import PhysicsTendencies, SurfaceState
+
+        cfg = self.config
+        tr = self.transform
+        L, E, nlat, nlon = diag.temp.shape
+
+        def fold(a):
+            return a.reshape(a.shape[:-3] + (E * nlat, nlon))
+
+        sub = SurfaceState(t_sfc=fold(surface.t_sfc),
+                           albedo=fold(surface.albedo),
+                           wetness=fold(surface.wetness), z0=fold(surface.z0),
+                           ocean_mask=fold(surface.ocean_mask))
+        ext = external_fluxes
+        if ext is not None:
+            ext = {k: fold(v) for k, v in ext.items()}
+        phys = self.physics.compute(
+            temp=fold(diag.temp), q=fold(q), u=fold(diag.u), v=fold(diag.v),
+            pressure=fold(diag.pressure), ps=fold(diag.ps),
+            geopotential=fold(diag.geopotential), dsigma=self.vgrid.dsigma,
+            surface=sub, dt=cfg.atm_dt, time=time,
+            lats=np.tile(tr.lats, E), lons=tr.lons, external_fluxes=ext)
+
+        def unfold(a):
+            if a is None:
+                return None
+            return a.reshape(a.shape[:-2] + (E, nlat, nlon))
+
+        return PhysicsTendencies(
+            dtdt=unfold(phys.dtdt), dqdt=unfold(phys.dqdt),
+            dudt=unfold(phys.dudt), dvdt=unfold(phys.dvdt),
+            precip_conv=unfold(phys.precip_conv),
+            precip_strat=unfold(phys.precip_strat),
+            fluxes={k: unfold(v) for k, v in phys.fluxes.items()},
+            heating_sw=unfold(phys.heating_sw),
+            heating_lw=unfold(phys.heating_lw))
 
     def _apply_tendencies_kernel(self, curr: AtmosphereState, dtdt, dudt,
                                  dvdt, dqdt) -> AtmosphereState:

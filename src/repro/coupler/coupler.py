@@ -161,8 +161,11 @@ class FluxCoupler:
                          ov.from_atm(self.land_model.roughness))
         z0 = ov.to_atm(z0_ov)
 
+        ocean_mask = ~self.atm_land_mask
+        if t_sfc.ndim > 2:
+            ocean_mask = np.broadcast_to(ocean_mask, t_sfc.shape)
         return SurfaceState(t_sfc=t_sfc, albedo=albedo, wetness=wetness,
-                            z0=z0, ocean_mask=~self.atm_land_mask)
+                            z0=z0, ocean_mask=ocean_mask)
 
     # ------------------------------------------------------------------
     @profiled("fluxes")
@@ -271,9 +274,22 @@ class FluxCoupler:
             melt_energy=np.where(land, np.maximum(net_land_flux, 0.0), 0.0),
             dt=dt, land_mask=land)
         # River storage is prognostic state: restore it so restarts are exact.
-        if state.river_volume is not None:
-            self.river.volume = state.river_volume.copy()
-        discharge = self.river.step(runoff, dt)
+        if runoff.ndim == 2:
+            if state.river_volume is not None:
+                self.river.volume = state.river_volume.copy()
+            discharge = self.river.step(runoff, dt)
+            new_volume = self.river.volume.copy()
+        else:
+            # River routing is a stateful scatter-add; run each ensemble
+            # member through the serial kernel and stack the results.
+            vol = state.river_volume
+            discharge = np.empty_like(runoff)
+            new_volume = np.empty_like(runoff)
+            for e in range(runoff.shape[0]):
+                self.river.volume = (vol[e].copy() if vol is not None
+                                     else np.zeros_like(runoff[e]))
+                discharge[e] = self.river.step(runoff[e], dt)
+                new_volume[e] = self.river.volume
         new_land = self.land_model.step(
             state.land, np.where(land, net_land_flux, 0.0), dt)
 
@@ -285,7 +301,7 @@ class FluxCoupler:
             river_discharge_total=float(np.sum(discharge * a)))
         return (CouplerState(land=new_land, hydrology=new_hydro,
                              ice=state.ice,
-                             river_volume=self.river.volume.copy(),
+                             river_volume=new_volume,
                              time=state.time + dt),
                 discharge, diags)
 
@@ -311,8 +327,17 @@ class FluxCoupler:
         mapped = ov.to_ocn(ov_field)
         # Rescale to conserve the global freshwater integral exactly
         # (coastline mismatch between grids can clip some discharge cells).
-        total_in = float(np.sum(discharge_atm * self.atm_cell_areas))
-        total_out = ov.integrate_ocn(mapped)
-        if total_out > 0 and total_in > 0:
-            mapped = mapped * (total_in / total_out)
+        if discharge_atm.ndim == 2:
+            total_in = float(np.sum(discharge_atm * self.atm_cell_areas))
+            total_out = ov.integrate_ocn(mapped)
+            if total_out > 0 and total_in > 0:
+                mapped = mapped * (total_in / total_out)
+        else:
+            # The conservation ratio is a per-member scalar; rescale each
+            # member exactly as the serial path does.
+            for e in range(discharge_atm.shape[0]):
+                total_in = float(np.sum(discharge_atm[e] * self.atm_cell_areas))
+                total_out = ov.integrate_ocn(mapped[e])
+                if total_out > 0 and total_in > 0:
+                    mapped[e] = mapped[e] * (total_in / total_out)
         return mapped

@@ -121,12 +121,13 @@ class LandModel:
         ``net_surface_flux`` (W/m^2, positive downward into the soil) is the
         residual of the surface energy balance computed by the coupler.
         """
-        dz = SOIL_LAYER_THICKNESS[:, None, None]
+        ndim = state.soil_temp.ndim                      # 3, or 4 with members
+        dz = SOIL_LAYER_THICKNESS.reshape((-1,) + (1,) * (ndim - 1))
         cap = self.heat_capacity[None] * dz              # J m^-2 K^-1 per layer
         cond = self.conductivity[None]
         # Interface conductance between layers k and k+1.
         dz_between = 0.5 * (SOIL_LAYER_THICKNESS[:-1] + SOIL_LAYER_THICKNESS[1:])
-        g_if = cond[0] / dz_between[:, None, None]       # W m^-2 K^-1 (3, ...)
+        g_if = cond[0] / dz_between.reshape((-1,) + (1,) * (ndim - 1))
 
         a = np.zeros_like(state.soil_temp)
         c = np.zeros_like(state.soil_temp)

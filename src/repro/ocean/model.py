@@ -64,13 +64,21 @@ class OceanParams:
     barotropic: BarotropicParams = field(default_factory=BarotropicParams)
     mixing: PPMixingParams = field(default_factory=PPMixingParams)
     polar_filter_lat: float = 60.0
-    sst_clamp: float = T_FREEZE_SEA - 273.15   # deg C: the paper's -1.92 clamp
+    # deg C: the paper's -1.92 clamp.  May be a per-member array (e.g.
+    # (nens, 1, 1)) broadcastable against the surface-temperature field.
+    sst_clamp: float | np.ndarray = T_FREEZE_SEA - 273.15
     reference_salinity: float = 34.7
     # Optional Euler-backward corrector for the slow stage.  Off by default:
     # fast modes (inertial, internal waves) live inside the subcycled
     # internal loop where they are integrated forward-backward; wrapping a
     # multi-radian propagator in Matsuno amplifies instead of damping.
     matsuno: bool = False
+
+    def __post_init__(self):
+        # Same guard as eos.density_anomaly's scalar depth: a 0-d float64
+        # array here would upcast every float32 surface-temperature clamp.
+        if isinstance(self.sst_clamp, np.ndarray) and self.sst_clamp.ndim == 0:
+            self.sst_clamp = float(self.sst_clamp)
 
 
 @dataclass
@@ -102,8 +110,10 @@ class OceanForcing:
     freshwater: np.ndarray  # kg m^-2 s^-1, positive = into the ocean (P - E + R)
 
     @classmethod
-    def zeros(cls, ny: int, nx: int, dtype=np.float64) -> "OceanForcing":
-        z = np.zeros((ny, nx), dtype=dtype)
+    def zeros(cls, ny: int, nx: int, dtype=np.float64,
+              lead: tuple = ()) -> "OceanForcing":
+        """Zero forcing; ``lead`` prepends batch (ensemble) axes."""
+        z = np.zeros(tuple(lead) + (ny, nx), dtype=dtype)
         return cls(z.copy(), z.copy(), z.copy(), z.copy())
 
 
@@ -181,26 +191,40 @@ class OceanModel:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _m3(self, field3d: np.ndarray) -> np.ndarray:
+        """The 3-D mask, viewed to broadcast against ``field3d``.
+
+        Serial fields are (L, ny, nx); ensemble-batched fields carry a
+        member axis after the level axis, (L, E, ny, nx), so the mask gains
+        a broadcasting singleton there.  Pure views — no copies, and the
+        serial path sees the exact same array as before.
+        """
+        return self.mask3d if field3d.ndim == 3 else self.mask3d[:, None]
+
+    def _dz3(self, field3d: np.ndarray) -> np.ndarray:
+        """Active layer thickness, viewed like :meth:`_m3`."""
+        return self.dz3d if field3d.ndim == 3 else self.dz3d[:, None]
+
     def depth_mean(self, field3d: np.ndarray) -> np.ndarray:
         """Thickness-weighted column mean over active levels."""
-        return np.sum(field3d * self.dz3d, axis=0) / self.coldepth
+        return np.sum(field3d * self._dz3(field3d), axis=0) / self.coldepth
 
     def remove_depth_mean(self, field3d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         mean = self.depth_mean(field3d)
-        out = np.where(self.mask3d, field3d - mean[None], 0.0)
+        out = np.where(self._m3(field3d), field3d - mean[None], 0.0)
         return out, mean
 
     def total_velocity(self, state: OceanState) -> tuple[np.ndarray, np.ndarray]:
-        u = np.where(self.mask3d, state.u + state.ubar[None], 0.0)
-        v = np.where(self.mask3d, state.v + state.vbar[None], 0.0)
+        u = np.where(self._m3(state.u), state.u + state.ubar[None], 0.0)
+        v = np.where(self._m3(state.v), state.v + state.vbar[None], 0.0)
         return u, v
 
     def baroclinic_pressure_gradient(self, temp, salt):
         """(-1/rho0) grad of hydrostatic pressure from density anomalies."""
         g = self.grid
-        rho = np.where(self.mask3d, density_anomaly(temp, salt, 0.0), 0.0)
+        rho = np.where(self._m3(temp), density_anomaly(temp, salt, 0.0), 0.0)
         # Pressure at layer centers: integrate rho from the surface down.
-        wdz = rho * g.dz[:, None, None]
+        wdz = rho * g.dz.reshape((-1,) + (1,) * (rho.ndim - 1))
         p_above = np.cumsum(wdz, axis=0) - wdz          # full layers above
         p = GRAVITY * (p_above + 0.5 * wdz)
         ws = get_workspace()
@@ -251,7 +275,7 @@ class OceanModel:
         violently unstable in shallow polar channels.)
         """
         g = self.grid
-        return advect_centered(tracer, u, v, g.dx, g.dy, self.mask3d)
+        return advect_centered(tracer, u, v, g.dx, g.dy, self._m3(tracer))
 
     def advect_tracer_vertical(self, tracer: np.ndarray, w_top: np.ndarray
                                ) -> np.ndarray:
@@ -266,16 +290,18 @@ class OceanModel:
         """
         g = self.grid
         # dC/d(depth) at interior interfaces (between layer k-1 and k).
-        dzi = (g.z_full[1:] - g.z_full[:-1])[:, None, None]
+        dzi = (g.z_full[1:] - g.z_full[:-1]).reshape(
+            (-1,) + (1,) * (tracer.ndim - 1))
         grad = (tracer[1:] - tracer[:-1]) / dzi           # dC/d(depth)
-        open_if = self.mask3d[:-1] & self.mask3d[1:]
+        m3 = self._m3(tracer)
+        open_if = m3[:-1] & m3[1:]
         grad = np.where(open_if, grad, 0.0)
         # w dC/dz = -w dC/d(depth); average the two interface contributions.
         contrib = w_top[1:] * grad                        # at interfaces
         tend = get_workspace().zeros_like("ocean.adv_tend", tracer)
         tend[:-1] += 0.5 * contrib
         tend[1:] += 0.5 * contrib
-        return np.where(self.mask3d, tend, 0.0)
+        return np.where(m3, tend, 0.0)
 
     # ------------------------------------------------------------------
     # the triple-rate step
@@ -337,18 +363,19 @@ class OceanModel:
 
             s.temp = s.temp + dt_long * self.advect_tracer_horizontal(s.temp, u_tot, v_tot)
             s.salt = s.salt + dt_long * self.advect_tracer_horizontal(s.salt, u_tot, v_tot)
+            m3 = self._m3(s.u)
             s.u = s.u + dt_long * advect_centered(s.u, u_tot, v_tot, g.dx, g.dy,
-                                                  self.mask3d)
+                                                  m3)
             s.v = s.v + dt_long * advect_centered(s.v, u_tot, v_tot, g.dx, g.dy,
-                                                  self.mask3d)
+                                                  m3)
 
             # del^4 dissipation (A-grid mode control) on all prognostic fields,
             # plus harmonic eddy viscosity on momentum.
             from repro.ocean.operators import laplacian
             for f3 in (s.u, s.v, s.temp, s.salt):
-                f3 -= dt_long * self.a4 * biharmonic(f3, g.dx, g.dy, self.mask3d)
+                f3 -= dt_long * self.a4 * biharmonic(f3, g.dx, g.dy, m3)
             for f3 in (s.u, s.v):
-                f3 += dt_long * self.a2 * laplacian(f3, g.dx, g.dy, self.mask3d)
+                f3 += dt_long * self.a2 * laplacian(f3, g.dx, g.dy, m3)
 
         # Vertical mixing (PP81 steepened) + surface fluxes, implicit.
         with profile_section("mixing"):
@@ -359,22 +386,22 @@ class OceanModel:
             # Virtual salt flux: fresh water dilutes surface salinity.
             salt_in = -forcing.freshwater * p.reference_salinity / RHO_SEAWATER
             s.temp = mix_column_implicit(s.temp, kappa, g.dz, dt_long, heat_in,
-                                         mask=self.mask3d)
+                                         mask=m3)
             s.salt = mix_column_implicit(s.salt, kappa, g.dz, dt_long, salt_in,
-                                         mask=self.mask3d)
+                                         mask=m3)
             s.u = mix_column_implicit(s.u, nu, g.dz, dt_long,
-                                      forcing.taux / RHO_SEAWATER, mask=self.mask3d)
+                                      forcing.taux / RHO_SEAWATER, mask=m3)
             s.v = mix_column_implicit(s.v, nu, g.dz, dt_long,
-                                      forcing.tauy / RHO_SEAWATER, mask=self.mask3d)
+                                      forcing.tauy / RHO_SEAWATER, mask=m3)
             s.temp, s.salt = convective_adjustment(s.temp, s.salt, g.z_full, g.dz,
-                                                   mask=self.mask3d)
+                                                   mask=m3)
 
         # The paper's sea-surface clamp at -1.92 C (ice formation handles the rest).
         s.temp[0] = np.where(self.mask2d, np.maximum(s.temp[0], p.sst_clamp), 0.0)
 
         # Mask everything that may have leaked onto land.
         for name in ("u", "v", "temp", "salt"):
-            setattr(s, name, np.where(self.mask3d, getattr(s, name), 0.0))
+            setattr(s, name, np.where(m3, getattr(s, name), 0.0))
 
         # ---- fast internal terms, subcycled -------------------------------
         # Forward-backward pairing: density (via vertical advection of the
@@ -382,8 +409,9 @@ class OceanModel:
         # density — the neutral integration of the internal-wave loop.
         ws = get_workspace()
         fdt = self.policy.float_dtype
-        gx_acc = ws.zeros("ocean.gx_acc", (g.ny, g.nx), fdt)
-        gy_acc = ws.zeros("ocean.gy_acc", (g.ny, g.nx), fdt)
+        lead = s.u.shape[1:-2]                   # () serial, (nens,) batched
+        gx_acc = ws.zeros("ocean.gx_acc", lead + (g.ny, g.nx), fdt)
+        gy_acc = ws.zeros("ocean.gy_acc", lead + (g.ny, g.nx), fdt)
         if self._rot_dt != dt_int:
             self._rot_dt = dt_int
             self._cosf = np.cos(g.f * dt_int)[None]
@@ -416,8 +444,8 @@ class OceanModel:
         # ---- polar filter (baroclinic fields, 3-D mask-aware) ---------------
         for name in ("temp", "salt", "u", "v"):
             setattr(s, name, apply_polar_filter(
-                getattr(s, name), g.lats, self.mask3d, p.polar_filter_lat))
-            setattr(s, name, np.where(self.mask3d, getattr(s, name), 0.0))
+                getattr(s, name), g.lats, m3, p.polar_filter_lat))
+            setattr(s, name, np.where(m3, getattr(s, name), 0.0))
 
         s.time = state.time + dt_long
         self.op_count += self._ops_per_step()

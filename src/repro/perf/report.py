@@ -87,6 +87,57 @@ def profile_coupled_run(days: float = 1.0, config: str = "test",
               "backend": cfg.array_backend().name})
 
 
+def profile_ensemble_run(days: float = 1.0, config: str = "test",
+                         nens: int = 4, seed: int | None = None,
+                         dtype: str | None = None,
+                         backend: str | None = None) -> RunProfile:
+    """Profile a *batched* ensemble run: ``nens`` members per coupled step.
+
+    Same profiling window as :func:`profile_coupled_run` (construction and
+    initial states excluded), but every ``coupled_step`` advances all
+    members at once through the leading member axis, so per-section times
+    are the batch's — divide by ``nens`` for per-member cost.
+    """
+    from repro.core.config import paper_config, small_config, test_config
+    from repro.core.ensemble import EnsembleConfig, FoamEnsemble
+
+    factories = {"test": test_config, "small": small_config,
+                 "paper": paper_config}
+    if config not in factories:
+        raise ValueError(f"unknown config {config!r}; pick from "
+                         f"{sorted(factories)}")
+    if nens < 1:
+        raise ValueError(f"nens must be >= 1, got {nens}")
+    cfg = factories[config]()
+    if seed is not None:
+        cfg.seed = seed
+    if dtype is not None:
+        cfg.dtype = dtype
+    if backend is not None:
+        cfg.backend = backend
+    cfg.array_backend()          # fail fast if the backend is unavailable
+    ens = FoamEnsemble(EnsembleConfig(nens=nens, base=cfg))
+    state = ens.initial_state()
+    nsteps = max(1, int(round(days * 86400.0 / cfg.atm_dt)))
+
+    prof = enable_profiling()
+    prof.reset()
+    try:
+        for _ in range(nsteps):
+            state = ens.step(state)
+    finally:
+        prof.disable()
+    return take_profile(
+        label=f"batched ensemble {config} run, nens={nens}, "
+              f"{nsteps} steps ({days:g} days)",
+        meta={"config": config, "days": days, "nsteps": nsteps,
+              "nens": nens, "atm_dt": cfg.atm_dt,
+              "atm_grid": [cfg.atm_nlat, cfg.atm_nlon, cfg.atm_nlev],
+              "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev],
+              "dtype": cfg.dtype_policy.name,
+              "backend": cfg.array_backend().name})
+
+
 def profile_concurrent_run(days: float = 1.0, config: str = "test",
                            n_atm: int = 2, n_ocn: int = 1):
     """Run the pool-split coupled driver with per-rank profiling.
@@ -194,11 +245,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ocn-ranks", type=int, default=1, metavar="N",
                         help="ocean-pool ranks for --atm-ranks mode "
                              "(default: 1)")
+    parser.add_argument("--ensemble", type=int, default=None, metavar="N",
+                        help="profile a batched N-member ensemble run "
+                             "(section times are for the whole batch)")
     args = parser.parse_args(argv)
+
+    if args.ensemble is not None and args.atm_ranks is not None:
+        parser.error("--ensemble and --atm-ranks are mutually exclusive")
 
     result = None
     if args.load is not None:
         profile = RunProfile.load(args.load)
+    elif args.ensemble is not None:
+        profile = profile_ensemble_run(days=args.days, config=args.config,
+                                       nens=args.ensemble, seed=args.seed,
+                                       dtype=args.dtype,
+                                       backend=args.backend)
     elif args.atm_ranks is not None:
         result = profile_concurrent_run(days=args.days, config=args.config,
                                         n_atm=args.atm_ranks,

@@ -1,0 +1,249 @@
+"""Batched ensemble execution (repro.core.ensemble).
+
+The load-bearing guarantee: a zero-perturbation batch of N members is
+bitwise float64-identical, member for member, to N independent serial runs
+— batching is a pure throughput optimization, never a trajectory change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import workspace_totals
+from repro.core import (EnsembleConfig, FoamEnsemble, FoamModel, member_state,
+                        stack_members)
+from repro.core import test_config as _test_config
+from repro.core.ensemble import promote_member_values
+
+NENS = 3
+STEPS = 3
+
+
+def _serial_run(cfg, steps, seed=None):
+    model = FoamModel(cfg)
+    state = model.initial_state(seed=seed)
+    for _ in range(steps):
+        state = model.coupled_step(state)
+    return model, state
+
+
+def _state_pairs(a, b):
+    yield "vort", a.atm_curr.vort, b.atm_curr.vort
+    yield "div", a.atm_curr.div, b.atm_curr.div
+    yield "temp", a.atm_curr.temp, b.atm_curr.temp
+    yield "lnps", a.atm_curr.lnps, b.atm_curr.lnps
+    yield "q", a.atm_curr.q, b.atm_curr.q
+    yield "prev_vort", a.atm_prev.vort, b.atm_prev.vort
+    yield "ocn_u", a.ocean.u, b.ocean.u
+    yield "ocn_v", a.ocean.v, b.ocean.v
+    yield "otemp", a.ocean.temp, b.ocean.temp
+    yield "osalt", a.ocean.salt, b.ocean.salt
+    yield "eta", a.ocean.eta, b.ocean.eta
+    yield "ubar", a.ocean.ubar, b.ocean.ubar
+    yield "vbar", a.ocean.vbar, b.ocean.vbar
+    yield "soil_temp", a.coupler.land.soil_temp, b.coupler.land.soil_temp
+    yield ("soil_moisture", a.coupler.hydrology.soil_moisture,
+           b.coupler.hydrology.soil_moisture)
+    yield "snow", a.coupler.hydrology.snow_depth, b.coupler.hydrology.snow_depth
+    yield "ice", a.coupler.ice.thickness, b.coupler.ice.thickness
+    yield "river", a.coupler.river_volume, b.coupler.river_volume
+
+
+def _assert_member_bitwise(extracted, serial, member):
+    for item in _state_pairs(extracted, serial):
+        name, got, want = item
+        assert np.array_equal(got, want), (
+            f"member {member}: {name} differs, "
+            f"max|diff|={np.max(np.abs(np.asarray(got) - np.asarray(want)))}")
+
+
+class TestPromotion:
+    def test_scalar_stays_python_float(self):
+        assert promote_member_values(0.04, 4, np.float64) == 0.04
+        v = promote_member_values(np.float64(0.04), 4, np.float32)
+        assert isinstance(v, float)
+        v = promote_member_values(np.array(0.04), 4, np.float32)
+        assert isinstance(v, float)            # 0-d arrays collapse too
+
+    def test_sequence_promotes_to_broadcast_array(self):
+        arr = promote_member_values([1.0, 2.0, 3.0], 3, np.float32)
+        assert arr.shape == (3, 1, 1) and arr.dtype == np.float32
+        field = np.zeros((5, 3, 8, 8), dtype=np.float32)
+        assert (arr * field).dtype == np.float32   # no upcast
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            promote_member_values([1.0, 2.0], 4, np.float64)
+
+
+class TestBitwiseEquivalence:
+    def test_zero_perturbation_matches_serial(self):
+        """N identical members batched == N serial runs, bit for bit."""
+        cfg = _test_config()
+        cfg.dtype = "float64"
+        ens = FoamEnsemble(EnsembleConfig(nens=NENS, base=cfg))
+        bstate = ens.initial_state()
+        assert bstate.atm_curr.vort.shape[1] == NENS
+        for _ in range(STEPS):
+            bstate = ens.step(bstate)
+
+        scfg = _test_config()
+        scfg.dtype = "float64"
+        _, sstate = _serial_run(scfg, STEPS)
+        for e in range(NENS):
+            _assert_member_bitwise(ens.member_state(bstate, e), sstate, e)
+
+    def test_per_member_knobs_match_serial(self):
+        """Per-member Robert filters / SST clamps reproduce each member's
+        standalone run (built from ``member_config``) bitwise."""
+        cfg = _test_config()
+        cfg.dtype = "float64"
+        ens = FoamEnsemble(EnsembleConfig(
+            nens=NENS, base=cfg,
+            robert_filter=[0.03, 0.04, 0.06],
+            sst_clamp=[-1.92, -1.5, -1.0]))
+        bstate = ens.initial_state()
+        for _ in range(2):
+            bstate = ens.step(bstate)
+
+        for e in range(NENS):
+            _, sstate = _serial_run(ens.member_config(e), 2)
+            _assert_member_bitwise(ens.member_state(bstate, e), sstate, e)
+
+    def test_stack_unstack_roundtrip(self):
+        cfg = _test_config()
+        model = FoamModel(cfg)
+        states = [model.initial_state(seed=s) for s in (1, 2)]
+        batched = stack_members(states)
+        for e, want in enumerate(states):
+            got = member_state(batched, e)
+            _assert_member_bitwise(got, want, e)
+
+
+class TestPerturbedEnsemble:
+    def test_perturbed_members_diverge(self):
+        ens = FoamEnsemble(EnsembleConfig(nens=2, base=_test_config(),
+                                          ic_perturbation=1e-7))
+        state = ens.initial_state()
+        for _ in range(STEPS):
+            state = ens.step(state)
+        m0 = ens.member_state(state, 0)
+        m1 = ens.member_state(state, 1)
+        # Different noise realizations: trajectories must have separated.
+        assert not np.array_equal(m0.atm_curr.vort, m1.atm_curr.vort)
+        assert np.max(np.abs(m0.atm_curr.vort - m1.atm_curr.vort)) > 0
+        # ... while every field stays finite.
+        for name, a, _ in _state_pairs(m0, m1):
+            assert np.all(np.isfinite(a)), f"{name} not finite"
+
+    def test_zero_perturbation_members_identical(self):
+        ens = FoamEnsemble(EnsembleConfig(nens=2, base=_test_config()))
+        state = ens.initial_state()
+        for _ in range(2):
+            state = ens.step(state)
+        m0 = ens.member_state(state, 0)
+        m1 = ens.member_state(state, 1)
+        for item in _state_pairs(m0, m1):
+            name, a, b = item
+            assert np.array_equal(a, b), f"members differ in {name}"
+
+
+class TestWorkspaceReuse:
+    def test_hit_rate_survives_ensemble_shapes(self):
+        """Ensemble-shaped buffers miss once, then hit: the arena's >99%
+        steady-state hit rate survives the member axis."""
+        ens = FoamEnsemble(EnsembleConfig(nens=4, base=_test_config()))
+        state = ens.initial_state()
+        state = ens.step(state)          # warm the arena with batched shapes
+        before = workspace_totals()
+        for _ in range(3):
+            state = ens.step(state)
+        after = workspace_totals()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        assert hits > 0
+        assert hits / (hits + misses) > 0.99, (hits, misses)
+
+
+class TestFloat32Ensemble:
+    def test_float32_batch_bounded_drift(self):
+        """Mirrors test_backend.TestFloat32Integration for the batched path:
+        same dtype guarantees, bounded conserved-quantity drift vs float64."""
+        steps = 12
+
+        def run(dtype):
+            cfg = _test_config()
+            cfg.dtype = dtype
+            ens = FoamEnsemble(EnsembleConfig(nens=2, base=cfg))
+            state = ens.initial_state()
+            for _ in range(steps):
+                state = ens.step(state)
+            return ens, state
+
+        ens64, s64 = run("float64")
+        ens32, s32 = run("float32")
+
+        assert s32.atm_curr.vort.dtype == np.complex64
+        assert s32.atm_curr.q.dtype == np.float32
+        assert s32.ocean.temp.dtype == np.float32
+        assert s64.atm_curr.vort.dtype == np.complex128
+
+        m64 = ens64.member_state(s64, 0)
+        m32 = ens32.member_state(s32, 0)
+        mass64 = ens64.model.dycore.global_mass(m64.atm_curr)
+        mass32 = ens32.model.dycore.global_mass(m32.atm_curr)
+        assert np.isfinite(mass32)
+        assert abs(mass32 - mass64) / abs(mass64) < 1e-4
+
+        e64 = ens64.model.dycore.total_energy(m64.atm_curr)
+        e32 = ens32.model.dycore.total_energy(m32.atm_curr)
+        assert np.isfinite(e32)
+        assert abs(e32 - e64) / abs(e64) < 1e-3
+
+        for arr in (s32.atm_curr.temp, s32.atm_curr.q, s32.ocean.temp,
+                    s32.ocean.salt, s32.ocean.eta):
+            assert np.all(np.isfinite(arr))
+
+    def test_float32_per_member_knobs_keep_dtype(self):
+        """Promoted per-member arrays carry the policy dtype: no silent
+        upcast of complex64/float32 state through the Robert filter or the
+        SST clamp."""
+        cfg = _test_config()
+        cfg.dtype = "float32"
+        ens = FoamEnsemble(EnsembleConfig(
+            nens=2, base=cfg, robert_filter=[0.03, 0.05],
+            sst_clamp=[-1.92, -1.5]))
+        assert ens.model.dycore.robert.dtype == np.float32
+        assert ens.model.ocean.params.sst_clamp.dtype == np.float32
+        state = ens.initial_state()
+        state = ens.step(state)
+        assert state.atm_curr.vort.dtype == np.complex64
+        assert state.ocean.temp.dtype == np.float32
+
+
+class TestEnsembleAPI:
+    def test_kwargs_construction_and_defaults(self):
+        """EnsembleConfig fields pass through **kwargs; base defaults to
+        the test config."""
+        ens = FoamEnsemble(nens=2, base=_test_config())
+        assert ens.nens == 2
+        default_base = FoamEnsemble(nens=1)
+        assert (default_base.model.config.atm_nlat
+                == _test_config().atm_nlat)
+
+    def test_run_days_advances_all_members(self):
+        ens = FoamEnsemble(EnsembleConfig(nens=2, base=_test_config()))
+        state = ens.initial_state()
+        dt = ens.model.config.atm_dt
+        out = ens.run_days(state, 2 * dt / 86400.0)
+        assert out.time == pytest.approx(state.time + 2 * dt)
+        assert out.atm_curr.vort.shape[1] == 2
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError, match="nens"):
+            FoamEnsemble(EnsembleConfig(nens=0, base=_test_config()))
+        with pytest.raises(ValueError, match="at least one"):
+            stack_members([])
+        ens = FoamEnsemble(EnsembleConfig(nens=2, base=_test_config()))
+        state = ens.initial_state()
+        with pytest.raises(IndexError):
+            ens.member_state(state, 2)

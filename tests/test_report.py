@@ -65,3 +65,38 @@ def test_cli_renders_saved_profile(capsys, tmp_path, quarter_day_profile):
     text = capsys.readouterr().out
     assert "atmosphere" in text
     assert quarter_day_profile.label in text
+
+
+def test_profile_ensemble_run_batches_members():
+    """--ensemble N profiles one batched run: per-step section call counts
+    match a serial run (the batch amortizes, it does not multiply calls)."""
+    from repro.perf.report import profile_ensemble_run
+
+    profile = profile_ensemble_run(days=0.25, config="test", nens=2, seed=0)
+    assert profile.meta["nens"] == 2
+    # 0.25 days at dt=3600 is 6 steps; dynamics runs once per batched step.
+    assert profile.calls("atmosphere/dynamics") == 6
+    roots = {s.path for s in profile.roots()}
+    assert roots == {"atmosphere", "coupler", "ocean"}
+
+
+def test_profile_ensemble_run_validates_nens():
+    from repro.perf.report import profile_ensemble_run
+
+    with pytest.raises(ValueError, match="nens"):
+        profile_ensemble_run(days=0.25, nens=0)
+    with pytest.raises(ValueError, match="unknown config"):
+        profile_ensemble_run(days=0.25, config="huge")
+
+
+def test_cli_ensemble_flag(capsys):
+    rc = main(["--days", "0.25", "--seed", "0", "--ensemble", "2"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "nens=2" in text
+    assert "atmosphere" in text and "ocean" in text
+
+
+def test_cli_ensemble_excludes_ranks(capsys):
+    with pytest.raises(SystemExit):
+        main(["--ensemble", "2", "--atm-ranks", "2"])
