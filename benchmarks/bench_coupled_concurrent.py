@@ -10,9 +10,19 @@ spectral work is serialized by the interpreter); the acceptance bar is
 that the calibrated prediction tracks the functional number within 25 %,
 i.e. the event simulator understands the schedule it is extrapolating.
 
+The benchmark also carries a **per-substrate dimension** (ISSUE 7): the
+identical pool layout runs once on rank threads and once on real forked
+rank processes (``substrate="process"``), both bitwise-equal to the serial
+trajectory, and the headline number is the process-over-thread day-wall
+speedup.  On a multi-core host the process substrate escapes the GIL and
+must deliver at least 1.5x; on single-core machines (or under
+``FOAM_BENCH_FAST``) the ratio is recorded but not gated, since there is
+no parallel hardware for the forked ranks to use.
+
 Persists ``BENCH_coupled.json`` (set ``BENCH_COUPLED_PATH`` to move it):
-serial vs concurrent wall time, per-kind idle/wait accounting, overlap
-(hidden ocean compute), and the prediction comparison.
+serial vs concurrent wall time per substrate, the process-over-thread
+speedup, per-kind idle/wait accounting, overlap (hidden ocean compute),
+and the prediction comparison.
 """
 
 import json
@@ -66,17 +76,28 @@ def test_concurrent_coupled_speedup(benchmark):
     serial = min((_serial_run(cfg, nsteps) for _ in range(2)),
                  key=lambda r: r["wall"])
     conc = min((run_concurrent_coupled(config=cfg, nsteps=nsteps,
-                                       layout=LAYOUT, profile=True)
+                                       layout=LAYOUT, profile=True,
+                                       substrate="thread")
                 for _ in range(2)),
                key=lambda r: r.wall_seconds)
+    conc_proc = min((run_concurrent_coupled(config=cfg, nsteps=nsteps,
+                                            layout=LAYOUT,
+                                            substrate="process")
+                     for _ in range(2)),
+                    key=lambda r: r.wall_seconds)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
-    # The concurrent trajectory is the serial one (bitwise at float64);
-    # guard the timing numbers with a cheap equivalence check.
-    assert np.array_equal(conc.state.atm_curr.vort, serial["state"].atm_curr.vort)
-    assert np.array_equal(conc.state.ocean.temp, serial["state"].ocean.temp)
+    # Both substrates' trajectories are the serial one (bitwise at
+    # float64); guard the timing numbers with a cheap equivalence check.
+    for c in (conc, conc_proc):
+        assert np.array_equal(c.state.atm_curr.vort,
+                              serial["state"].atm_curr.vort)
+        assert np.array_equal(c.state.ocean.temp,
+                              serial["state"].ocean.temp)
 
     functional = serial["wall"] / conc.wall_seconds
+    proc_speedup = conc.wall_seconds / conc_proc.wall_seconds
+    cpu_count = os.cpu_count() or 1
     serial_costs = calibrate_from_profile(serial["profile"])
     conc_costs = calibrate_concurrent_from_profile(conc.profile,
                                                    n_atm_ranks=LAYOUT.n_atm)
@@ -93,11 +114,22 @@ def test_concurrent_coupled_speedup(benchmark):
     payload = {
         "config": "test",
         "nsteps": nsteps,
+        "cpu_count": cpu_count,
         "layout": {"n_atm": LAYOUT.n_atm, "n_ocn": LAYOUT.n_ocn,
                    "world_size": LAYOUT.world_size},
         "serial_wall_seconds": serial["wall"],
         "concurrent_wall_seconds": conc.wall_seconds,
         "functional_speedup": functional,
+        "substrates": {
+            "thread": {"wall_seconds": conc.wall_seconds,
+                       "day_wall_seconds": conc.wall_seconds * 24 / nsteps,
+                       "speedup_vs_serial": functional},
+            "process": {"wall_seconds": conc_proc.wall_seconds,
+                        "day_wall_seconds": conc_proc.wall_seconds * 24 / nsteps,
+                        "speedup_vs_serial":
+                            serial["wall"] / conc_proc.wall_seconds},
+        },
+        "process_over_thread_speedup": proc_speedup,
         "predicted": pred,
         "prediction_rel_err": rel_err,
         "rank_walls": conc.rank_walls,
@@ -115,6 +147,9 @@ def test_concurrent_coupled_speedup(benchmark):
         ("serial wall", "baseline", f"{serial['wall']:.3f} s"),
         ("concurrent wall", "measured", f"{conc.wall_seconds:.3f} s"),
         ("functional speedup", "GIL-bound", f"{functional:.3f}x"),
+        ("process wall", "measured", f"{conc_proc.wall_seconds:.3f} s"),
+        ("process/thread speedup", ">= 1.5x multi-core",
+         f"{proc_speedup:.3f}x ({cpu_count} cpus)"),
         ("predicted speedup", "within 25%", f"{pred['speedup']:.3f}x"),
         ("prediction rel err", "<= 0.25", f"{rel_err:.3f}"),
         ("ocean compute hidden", "-> 1.0", f"{conc.hidden_fraction:.2f}"),
@@ -125,4 +160,12 @@ def test_concurrent_coupled_speedup(benchmark):
     assert rel_err <= 0.25, (
         f"functional {functional:.3f}x vs predicted {pred['speedup']:.3f}x "
         f"(rel err {rel_err:.3f})")
+    # ISSUE 7 acceptance: on a host with a core per rank, real processes
+    # beat GIL-bound threads by >= 1.5x at the identical pool layout.  On
+    # smaller machines (and in the fast smoke run) the ratio is recorded
+    # in the payload but there is no parallelism to gate on.
+    if cpu_count >= LAYOUT.world_size and not os.environ.get("FOAM_BENCH_FAST"):
+        assert proc_speedup >= 1.5, (
+            f"process substrate only {proc_speedup:.3f}x over threads on "
+            f"{cpu_count} cpus (layout needs {LAYOUT.world_size})")
     assert os.path.exists(out_path)

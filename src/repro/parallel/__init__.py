@@ -2,11 +2,17 @@
 
 FOAM's third and fourth design strategies (paper section 3) are
 distributed-memory message passing via MPI.  This package provides the
-in-process equivalent: :func:`run_ranks` spins up rank threads exchanging
-real NumPy arrays through :class:`SimComm`, on which the decompositions and
-distributed transposes of the component models are built.
+in-process equivalent: :func:`run_ranks` spins up ranks exchanging real
+NumPy arrays through the :class:`SimComm` interface, on which the
+decompositions and distributed transposes of the component models are
+built.  Two substrates implement that interface: rank threads
+(:mod:`repro.parallel.simmpi`, the default) and real forked processes with
+shared-memory bulk payloads (:mod:`repro.parallel.procmpi`), selected per
+world via ``run_ranks(..., substrate=...)`` or the ``FOAM_COMM``
+environment variable.
 """
 
+from repro.parallel.commbase import CommBase, resolve_substrate
 from repro.parallel.coupled import (
     ConcurrentCoupledResult,
     PoolLayout,
@@ -14,6 +20,7 @@ from repro.parallel.coupled import (
 )
 from repro.parallel.decomp import BlockDecomp1D, BlockDecomp2D, block_bounds
 from repro.parallel.faults import FaultPlan, corrupt_payload
+from repro.parallel.procmpi import ProcComm, run_ranks_process
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -33,8 +40,12 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BlockedRank",
+    "CommBase",
     "CommError",
     "CommStats",
+    "ProcComm",
+    "resolve_substrate",
+    "run_ranks_process",
     "ConcurrentCoupledResult",
     "PoolLayout",
     "run_concurrent_coupled",

@@ -115,7 +115,8 @@ def parallel_biharmonic(py: int, px: int, field: np.ndarray,
 # ----------------------------------------------------------------- spectral
 def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
                                grid_field: np.ndarray,
-                               with_stats: bool = False):
+                               with_stats: bool = False,
+                               substrate: str | None = None):
     """Distributed grid->spectral transform (the PCCM2 pattern).
 
     1. each rank FFTs its latitude band (local);
@@ -124,8 +125,10 @@ def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
     4. gather the spectral coefficients.
 
     Bit-identical to ``tr.analyze`` because every rank uses the same
-    quadrature weights and Legendre tables.  With ``with_stats=True``
-    returns ``(spec, [CommStats, ...])``, the measured traffic of the run.
+    quadrature weights and Legendre tables — on either communicator
+    substrate (``substrate="process"`` forks real rank processes).  With
+    ``with_stats=True`` returns ``(spec, [CommStats, ...])``, the
+    measured traffic of the run.
     """
     nlat = tr.nlat
     nm = tr.trunc.nm
@@ -146,7 +149,7 @@ def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
             spec = np.concatenate(gathered, axis=0) * tr.trunc.mask()
         return spec, comm.stats
 
-    results = run_ranks(nranks, worker)
+    results = run_ranks(nranks, worker, substrate=substrate)
     spec = results[0][0]
     if with_stats:
         return spec, [r[1] for r in results]
@@ -154,7 +157,8 @@ def parallel_spectral_analysis(nranks: int, tr: SpectralTransform,
 
 
 def measure_transpose_comm(nranks: int, nlat: int, nm: int, nlev: int = 1,
-                           seed: int = 0) -> list[CommStats]:
+                           seed: int = 0,
+                           substrate: str | None = None) -> list[CommStats]:
     """Measure the real traffic of one forward+backward spectral transpose.
 
     Runs the distributed transpose on a ``(nlat, nm * nlev)`` complex field
@@ -163,7 +167,9 @@ def measure_transpose_comm(nranks: int, nlat: int, nm: int, nlev: int = 1,
     the measured message counts and bytes.  This is the calibration input
     for ``repro.perf.eventsim.simulate_coupled_day(transpose_comm=...)`` —
     simulated timing driven by measured traffic instead of the analytic
-    ``AtmosphereCost.transpose_bytes()`` formula.
+    ``AtmosphereCost.transpose_bytes()`` formula.  The counters are
+    substrate-independent: per-rank ``CommStats`` marshal back from forked
+    processes (``substrate="process"``) identical to the thread run.
     """
     ncols = nm * nlev
     rng = np.random.default_rng(seed)
@@ -178,4 +184,4 @@ def measure_transpose_comm(nranks: int, nlat: int, nm: int, nlev: int = 1,
                 f"rank {comm.rank}: transpose roundtrip not bitwise-identical")
         return comm.stats
 
-    return run_ranks(nranks, worker)
+    return run_ranks(nranks, worker, substrate=substrate)

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.backend import get_workspace
 from repro.parallel.decomp import block_bounds
-from repro.parallel.simmpi import CommStats, SimComm, run_ranks
+from repro.parallel.simmpi import CommStats, SimComm, resolve_substrate, run_ranks
 from repro.perf.profiler import Profiler, RunProfile, merge_profiles, thread_profiler
 
 # Coupler exchange tags (world-communicator context).
@@ -115,6 +115,7 @@ class ConcurrentCoupledResult:
     ws_stats: list[dict] = field(default_factory=list)
     ocean_busy_seconds: float = 0.0    # time the ocean leader spent computing
     overlap_seconds: float = 0.0       # ocean busy time hidden under atm work
+    substrate: str = "thread"          # communicator substrate the run used
 
     @property
     def hidden_fraction(self) -> float:
@@ -258,7 +259,8 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
                            nsteps: int | None = None,
                            layout: PoolLayout | None = None,
                            profile: bool = False,
-                           timeout: float | None = None) -> ConcurrentCoupledResult:
+                           timeout: float | None = None,
+                           substrate: str | None = None) -> ConcurrentCoupledResult:
     """Run the coupled model concurrently on disjoint rank pools.
 
     ``nsteps`` overrides ``days``.  With ``profile=True`` every rank
@@ -266,6 +268,11 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
     result carries both the per-rank profiles and their merge.  The
     returned state is numerically equivalent — bitwise at float64 — to
     ``nsteps`` serial ``coupled_step`` calls from the same initial state.
+
+    ``substrate`` picks the communicator implementation ("thread" or
+    "process"; default follows ``FOAM_COMM``).  On the process substrate
+    each pool rank is a forked OS process, so ``--atm-ranks``/``--ocn-ranks``
+    buy real multi-core wall-clock instead of GIL-interleaved threads.
     """
     from repro.core.config import test_config
     from repro.core.foam import FoamModel, FoamState
@@ -307,7 +314,9 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
                      if profile else None))
         return out
 
-    results = run_ranks(layout.world_size, worker, timeout=tmo)
+    substrate = resolve_substrate(substrate)
+    results = run_ranks(layout.world_size, worker, timeout=tmo,
+                        substrate=substrate)
 
     atm0 = results[layout.atm_ranks[0]]
     cplr = results[layout.cpl_rank]
@@ -345,4 +354,5 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
         workspaces=[r["workspace"] for r in results],
         ws_stats=[r["ws_stats"] for r in results],
         ocean_busy_seconds=ocean_busy,
-        overlap_seconds=max(0.0, ocean_busy - sst_wait))
+        overlap_seconds=max(0.0, ocean_busy - sst_wait),
+        substrate=substrate)

@@ -168,12 +168,16 @@ class FaultPlan:
         return None
 
     def apply_send(self, src: int, dest: int, tag: int, payload: Any,
-                   now: float) -> list[tuple[int, int, Any, float]]:
+                   now: float,
+                   corrupt: Any = corrupt_payload) -> list[tuple[int, int, Any, float]]:
         """Transform one outgoing message into zero or more deliveries.
 
         Returns ``[(dest, tag, payload, visible_at), ...]`` in delivery
         order; an empty list means the message is held back (reorder).
-        Called with the world lock held.
+        Called with the world lock held (thread substrate) or from the
+        router, the single point all traffic passes (process substrate —
+        which supplies its own ``corrupt`` transform able to reach
+        shared-memory-parked arrays).
         """
         visible = now
         copies = 1
@@ -182,7 +186,7 @@ class FaultPlan:
                 continue
             if rule.kind == "corrupt":
                 rule.applied += 1
-                payload = corrupt_payload(payload)
+                payload = corrupt(payload)
             elif rule.kind == "delay":
                 rule.applied += 1
                 visible = max(visible, now + rule.seconds)

@@ -1,0 +1,674 @@
+"""Real-process rank substrate: the simulated-MPI interface without the GIL.
+
+:func:`run_ranks_process` runs the same worker functions as
+:func:`repro.parallel.simmpi.run_ranks`, but each rank is a *forked child
+process*, so rank pools genuinely execute in parallel on separate cores —
+this is the substrate that makes ``--atm-ranks/--ocn-ranks`` buy real
+wall-clock (ROADMAP "Break the GIL") and matches the paper's own
+architecture of MPI ranks on distributed memory.
+
+Design
+------
+* **Fork, not spawn.**  Workers are closures over models and configs; fork
+  inherits them, so only results, exceptions and message payloads ever
+  cross a process boundary (all plain data).  This also means a
+  ``FaultPlan`` is inherited by every child: each rank consults its own
+  copy for *crash* rules (the op counters are process-local, exactly like
+  the thread substrate's per-rank counters), while the parent's copy
+  applies the traffic rules (delay/reorder/duplicate/corrupt) at the
+  router, the single point every message passes through.
+* **A parent-side router.**  Children push envelopes up one shared queue
+  (``send`` / ``blocked`` / ``unblocked`` / ``ctx`` / ``done``); the parent
+  routes messages to per-rank downlink queues and broadcasts liveness
+  events (``finished`` / ``dead`` / ``deadlock``).  Because each child's
+  uplink traffic is FIFO, a ``send`` is always routed before the same
+  child's ``finished``/``blocked`` — the orderings the thread substrate
+  gets for free from its shared lock.
+* **Shared memory for bulk payloads.**  ndarrays of at least
+  ``FOAM_COMM_SHM_MIN`` bytes (default 64 KiB) travel as named POSIX
+  shared-memory blocks; the queues carry only small pickled envelopes
+  referencing them.  The receiver copies out of the block and unlinks it,
+  preserving MPI copy-on-send semantics end to end.  One resource tracker
+  is started *before* forking so create/attach/unlink bookkeeping balances
+  across processes.
+* **Deadlock detection by marshalled wait-for graph.**  A blocked child
+  reports (op, peer, tag, ctx) along with how many messages it has seen;
+  the world is declared deadlocked when every live rank's report is
+  current (seen == delivered), the uplink is idle and no held/delayed
+  message remains — the same quiescence condition the thread substrate's
+  in-lock detector checks.  The router then builds the identical
+  :class:`~repro.parallel.commbase.DeadlockReport` (rank/op/peer/tag +
+  wait-for cycle) and broadcasts it, so every rank raises
+  :class:`~repro.parallel.commbase.DeadlockError` within a poll slice —
+  still well under a second.
+
+Because :class:`ProcComm` and :class:`~repro.parallel.simmpi.SimComm`
+share every collective algorithm (:mod:`repro.parallel.commbase`), a
+payload takes the same reduction tree and operation order on both
+substrates; ``tests/test_substrate_equivalence.py`` pins the result to be
+bitwise-identical at float64.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import pickle
+import queue as queuelib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.parallel.commbase import (
+    ANY_SOURCE,
+    _CTX_SHIFT,
+    _POLL_SLICE,
+    BlockedRank,
+    CommBase,
+    CommError,
+    CommStats,
+    DeadlockError,
+    DeadlockReport,
+    RankCrashedError,
+    _default_timeout,
+    _find_cycle,
+    _match,
+    _payload_nbytes,
+)
+from repro.parallel.faults import FaultPlan
+
+_ROUTER_SLICE = 0.02           # router poll cadence (uplink idle check)
+_HARD_DEATH_GRACE = 0.25       # seconds between a child dying and the router
+                               # declaring it dead without a result
+
+
+def _shm_min_bytes() -> int:
+    """Arrays at least this large travel via shared memory, not the queue."""
+    return int(os.environ.get("FOAM_COMM_SHM_MIN", 1 << 16))
+
+
+@dataclass(frozen=True)
+class _ShmRef:
+    """A bulk ndarray parked in a named shared-memory block."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def _encode_payload(obj: Any) -> Any:
+    """Copy a payload for sending, parking bulk ndarrays in shared memory.
+
+    This is the process substrate's ``_copy_payload``: the copy *is* the
+    serialization.  Small arrays stay inline (the queue pickles them);
+    large ones become :class:`_ShmRef` so the router never touches bulk
+    bytes.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= _shm_min_bytes():
+            from multiprocessing import shared_memory
+            arr = np.ascontiguousarray(obj)
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            ref = _ShmRef(shm.name, arr.shape, arr.dtype.str)
+            shm.close()
+            return ref
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_encode_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_encode_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _encode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _decode_payload(obj: Any) -> Any:
+    """Materialize a received payload, consuming (unlinking) shm blocks."""
+    if isinstance(obj, _ShmRef):
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(name=obj.name)
+        try:
+            src = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                             buffer=shm.buf)
+            out = src.copy()
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        return out
+    if isinstance(obj, tuple):
+        return tuple(_decode_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_decode_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _decode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _unlink_refs(obj: Any) -> None:
+    """Free shm blocks of a payload that will never be delivered."""
+    if isinstance(obj, _ShmRef):
+        from multiprocessing import shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=obj.name)
+        except FileNotFoundError:  # pragma: no cover - already freed
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+    elif isinstance(obj, (tuple, list)):
+        for o in obj:
+            _unlink_refs(o)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _unlink_refs(v)
+
+
+def _clone_refs(obj: Any) -> Any:
+    """Deep-duplicate shm blocks (for ``duplicate`` fault deliveries)."""
+    if isinstance(obj, _ShmRef):
+        from multiprocessing import shared_memory
+        nbytes = math.prod(obj.shape) * np.dtype(obj.dtype).itemsize
+        src = shared_memory.SharedMemory(name=obj.name)
+        try:
+            dup = shared_memory.SharedMemory(create=True, size=nbytes)
+            dup.buf[:nbytes] = src.buf[:nbytes]
+            name = dup.name
+            dup.close()
+            return _ShmRef(name, obj.shape, obj.dtype)
+        finally:
+            src.close()
+    if isinstance(obj, tuple):
+        return tuple(_clone_refs(o) for o in obj)
+    if isinstance(obj, list):
+        return [_clone_refs(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _clone_refs(v) for k, v in obj.items()}
+    return obj
+
+
+def _corrupt_encoded(obj: Any) -> Any:
+    """``FaultPlan.corrupt`` transform for encoded payloads.
+
+    Inline values corrupt exactly like the thread substrate
+    (:func:`repro.parallel.faults.corrupt_payload`); shm-parked arrays are
+    corrupted in place inside their block.
+    """
+    from repro.parallel.faults import corrupt_payload
+    if isinstance(obj, _ShmRef):
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(name=obj.name)
+        try:
+            arr = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                             buffer=shm.buf)
+            if arr.dtype == bool:
+                arr[...] = ~arr
+            else:
+                arr[...] = -arr - 1
+        finally:
+            shm.close()
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_corrupt_encoded(o) for o in obj)
+    if isinstance(obj, list):
+        return [_corrupt_encoded(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _corrupt_encoded(v) for k, v in obj.items()}
+    return corrupt_payload(obj)
+
+
+def _picklable_exc(exc: BaseException) -> BaseException:
+    """Round-trip-check an exception; fall back to a CommError summary."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure
+        err = CommError(f"{type(exc).__name__}: {exc}")
+        origin = getattr(exc, "origin_rank", None)
+        if origin is not None:
+            err.origin_rank = origin
+        return err
+
+
+class _Client:
+    """Child-side endpoint: local mailbox + liveness mirrored off the router."""
+
+    def __init__(self, rank: int, size: int, uplink, downlink,
+                 plan: FaultPlan):
+        self.rank = rank
+        self.size = size
+        self.uplink = uplink
+        self.downlink = downlink
+        self.plan = plan
+        # (src, abs_tag, encoded, visible_at): delayed messages are
+        # delivered eagerly and sit here until their visibility stamp
+        # passes, exactly like the thread substrate's mailbox.
+        self.box: list[tuple[int, int, Any, float]] = []
+        # Envelopes ingested (messages AND liveness events); echoed in
+        # blocked reports.  The router counts every downlink put the same
+        # way, so a standing blocked report is invalidated by *any* event
+        # the child has not yet reacted to — the child always gets to run
+        # its liveness check on fresh dead/finished knowledge before the
+        # router may trust the report for deadlock declaration (the thread
+        # substrate gets this ordering from its shared lock).
+        self.seen = 0
+        self.finished: set[int] = set()              # reports so the router can
+        self.dead: dict[int, tuple[int, str]] = {}   # tell stale from current
+        self.deadlock: DeadlockReport | None = None
+        self.ctx_replies: dict[tuple, int] = {}
+
+    def _handle(self, env: tuple) -> None:
+        kind = env[0]
+        self.seen += 1
+        if kind == "msg":
+            _, src, abs_tag, enc, visible = env
+            self.box.append((src, abs_tag, enc, visible))
+        elif kind == "finished":
+            self.finished.add(env[1])
+        elif kind == "dead":
+            self.dead[env[1]] = (env[2], env[3])
+        elif kind == "deadlock":
+            self.deadlock = env[1]
+        elif kind == "ctx":
+            self.ctx_replies[env[1]] = env[2]
+
+    def drain(self, timeout: float = 0.0) -> int:
+        """Ingest pending downlink envelopes; block up to ``timeout`` if idle."""
+        n = 0
+        while True:
+            try:
+                env = self.downlink.get_nowait()
+            except queuelib.Empty:
+                break
+            self._handle(env)
+            n += 1
+        if n == 0 and timeout > 0.0:
+            try:
+                env = self.downlink.get(timeout=timeout)
+            except queuelib.Empty:
+                return n
+            self._handle(env)
+            n += 1
+        return n
+
+
+class ProcComm(CommBase):
+    """Communicator for one rank of a real-process simulated MPI world.
+
+    Same API and collective algorithms as
+    :class:`~repro.parallel.simmpi.SimComm` (both subclass
+    :class:`~repro.parallel.commbase.CommBase`); the transport is the
+    uplink/downlink queue pair of this rank's :class:`_Client`.
+    """
+
+    def __init__(self, rank: int, size: int, client: _Client, *,
+                 timeout: float | None = None, group=None, ctx: int = 0,
+                 stats: CommStats | None = None):
+        super().__init__(rank, size, timeout=timeout, group=group, ctx=ctx,
+                         stats=stats)
+        self._client = client
+
+    # ------------------------------------------------------------------
+    # substrate hooks
+    # ------------------------------------------------------------------
+    def _crash_message(self, op: str) -> str | None:
+        # The child's inherited FaultPlan copy: per-rank op counters evolve
+        # exactly as the thread substrate's (each rank only ever consults
+        # its own counts), so crash schedules are substrate-portable.
+        return self._client.plan.crash_message(self._wrank, self._op_count, op)
+
+    def _allocate_context(self, key: tuple) -> int:
+        cl = self._client
+        if key not in cl.ctx_replies:
+            cl.uplink.put(("ctx", self._wrank, key))
+            deadline = time.monotonic() + self._timeout
+            while key not in cl.ctx_replies:
+                if time.monotonic() >= deadline:
+                    raise CommError(
+                        f"rank {self._wrank}: context allocation for split "
+                        f"timed out after {self._timeout}s")
+                cl.drain(_POLL_SLICE)
+        return cl.ctx_replies[key]
+
+    def _spawn(self, new_rank: int, group: list[int], ctx: int) -> "ProcComm":
+        return ProcComm(new_rank, len(group), self._client,
+                        timeout=self._timeout, group=group, ctx=ctx,
+                        stats=self.stats)
+
+    def _send(self, obj: Any, dest: int, tag: int) -> None:
+        self._check_send_args(dest)
+        op = self._op_stack[0]
+        dest_w = self._to_world(dest)
+        abs_tag = (self._ctx << _CTX_SHIFT) + tag
+        enc = _encode_payload(obj)
+        # Stats parity with the thread substrate: one note_send per send
+        # with the logical payload size (the router's fault transforms can
+        # add duplicate deliveries, which the thread substrate counts at
+        # the sender; fault-free traffic counts identically either way).
+        self.stats.note_send(op, dest_w, _payload_nbytes(obj))
+        self._client.uplink.put(("send", self._wrank, dest_w, abs_tag, enc))
+
+    def _recv(self, source: int, tag: int) -> Any:
+        self._check_recv_args(source)
+        op = self._op_stack[0]
+        cl = self._client
+        me = self._wrank
+        src_w = ANY_SOURCE if source == ANY_SOURCE else self._to_world(source)
+        ctx = self._ctx
+        start = time.monotonic()
+        deadline = start + self._timeout
+        reported_seen = -1
+        try:
+            while True:
+                cl.drain(0.0)
+                now = time.monotonic()
+                box = cl.box
+                next_visible: float | None = None
+                for i, (src, t, enc, visible) in enumerate(box):
+                    if not _match(src, t, src_w, tag, ctx):
+                        continue
+                    if visible > now:  # delayed message, not yet deliverable
+                        next_visible = (visible if next_visible is None
+                                        else min(next_visible, visible))
+                        continue
+                    del box[i]
+                    payload = _decode_payload(enc)
+                    self.stats.note_recv(_payload_nbytes(payload))
+                    return payload
+                if cl.deadlock is not None:
+                    raise DeadlockError(cl.deadlock)
+                if next_visible is None:
+                    # No matching (even delayed) traffic pending: check
+                    # whether the awaited peer can still ever send, and
+                    # (re-)report the wait whenever new traffic has been
+                    # ingested since the last report — the router treats a
+                    # report as current only while seen == delivered.
+                    self._peer_liveness_error(source, tag, op, cl.dead,
+                                              cl.finished)
+                    if cl.seen != reported_seen:
+                        cl.uplink.put(("blocked", me, op, src_w, tag, ctx,
+                                       start, cl.seen))
+                        reported_seen = cl.seen
+                if now >= deadline:
+                    raise CommError(
+                        f"rank {me}: {op}(source={src_w}, tag={tag}) "
+                        f"timed out after {self._timeout}s")
+                wait = min(_POLL_SLICE, deadline - now)
+                if next_visible is not None:
+                    wait = min(wait, max(next_visible - now, 0.0) + 1e-4)
+                cl.drain(wait)
+        finally:
+            if reported_seen >= 0:
+                cl.uplink.put(("unblocked", me))
+
+
+def _child_main(rank: int, size: int, fn: Callable[..., Any], args: tuple,
+                uplink, downlink, plan: FaultPlan, timeout: float) -> None:
+    from repro.backend.workspace import get_workspace
+    # The fork inherited the parent thread's workspace arena; start this
+    # rank with a clean one, as a fresh rank thread would.
+    get_workspace().clear()
+    client = _Client(rank, size, uplink, downlink, plan)
+    comm = ProcComm(rank, size, client, timeout=timeout)
+    try:
+        result = fn(comm, *args)
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        uplink.put(("done", rank, None, _picklable_exc(exc)))
+    else:
+        uplink.put(("done", rank, blob, None))
+
+
+class _Router:
+    """Parent-side message router, fault engine and deadlock detector."""
+
+    def __init__(self, size: int, uplink, downlinks, plan: FaultPlan,
+                 procs, timeout: float):
+        self.size = size
+        self.uplink = uplink
+        self.downlinks = downlinks
+        self.plan = plan
+        self.procs = procs
+        self.timeout = timeout
+        self.delivered = [0] * size
+        # rank -> (op, src_w, tag, ctx, since, seen) from blocked reports.
+        self.blocked: dict[int, tuple] = {}
+        self.finished: set[int] = set()
+        self.dead: dict[int, tuple[int, str]] = {}
+        self.done = [False] * size
+        self.results: list[Any] = [None] * size
+        self.errors: list[BaseException | None] = [None] * size
+        self.deadlock: DeadlockReport | None = None
+        self._ctx_ids: dict[tuple, int] = {}
+        self._next_ctx = 1
+        self._death_seen: dict[int, float] = {}
+
+    # -------------------------------------------------------------- core
+    def run(self) -> bool:
+        """Route until every rank reported done; False on hard timeout."""
+        deadline = time.monotonic() + self.timeout + 10.0
+        while not all(self.done):
+            if time.monotonic() >= deadline:
+                return False
+            try:
+                env = self.uplink.get(timeout=_ROUTER_SLICE)
+            except queuelib.Empty:
+                # Uplink idle: the only moment the marshalled wait-for
+                # graph can be trusted to be quiescent.
+                self._check_processes()
+                self._check_deadlock()
+                continue
+            self._handle(env)
+        return True
+
+    def _handle(self, env: tuple) -> None:
+        kind = env[0]
+        if kind == "send":
+            _, src, dest, abs_tag, enc = env
+            deliveries = self.plan.apply_send(src, dest, abs_tag, enc,
+                                              time.monotonic(),
+                                              corrupt=_corrupt_encoded)
+            seen_ids: set[int] = set()
+            for ddest, dtag, denc, visible in deliveries:
+                if id(denc) in seen_ids:   # duplicate fault: same object
+                    denc = _clone_refs(denc)
+                else:
+                    seen_ids.add(id(denc))
+                self._route(ddest, dtag, denc, visible, src)
+        elif kind == "blocked":
+            _, rank, op, src_w, tag, ctx, since, seen = env
+            if not self.done[rank]:
+                self.blocked[rank] = (op, src_w, tag, ctx, since, seen)
+        elif kind == "unblocked":
+            self.blocked.pop(env[1], None)
+        elif kind == "ctx":
+            _, rank, key = env
+            ctx = self._ctx_ids.get(key)
+            if ctx is None:
+                ctx = self._ctx_ids[key] = self._next_ctx
+                self._next_ctx += 1
+            if not self.done[rank]:
+                self._put(rank, ("ctx", key, ctx))
+        elif kind == "done":
+            _, rank, blob, error = env
+            self.done[rank] = True
+            self.blocked.pop(rank, None)
+            self.errors[rank] = error
+            self.results[rank] = blob
+            if error is None:
+                self.finished.add(rank)
+                self._broadcast(("finished", rank))
+            else:
+                origin = getattr(error, "origin_rank", None)
+                origin = rank if origin is None else origin
+                if origin != rank and origin in self.dead:
+                    reason = self.dead[origin][1]
+                else:
+                    reason = f"{type(error).__name__}: {error}"
+                self.dead[rank] = (origin, reason)
+                self._broadcast(("dead", rank, origin, reason))
+            # A finished/dead sender releases its reorder holdbacks, as the
+            # thread substrate's mark_finished/mark_dead do.
+            for src, dest, tag, payload, visible in self.plan.flush_held(src=rank):
+                self._route(dest, tag, payload, visible, src)
+
+    def _route(self, dest: int, abs_tag: int, enc: Any, visible: float,
+               src: int) -> None:
+        # Delayed messages are delivered eagerly with their visibility
+        # stamp — the receiver sits on them, exactly like the thread
+        # substrate's mailbox — so liveness/deadlock logic on the child
+        # can see matching in-flight traffic.
+        if self.done[dest]:
+            _unlink_refs(enc)   # nobody will ever drain this payload
+            return
+        self._put(dest, ("msg", src, abs_tag, enc, visible))
+
+    def _put(self, dest: int, env: tuple) -> None:
+        # Every downlink envelope counts toward ``delivered``, mirroring
+        # the client's ``seen`` (see _Client.seen for why).
+        self.downlinks[dest].put(env)
+        self.delivered[dest] += 1
+
+    def _broadcast(self, env: tuple) -> None:
+        for r in range(self.size):
+            if not self.done[r]:
+                self._put(r, env)
+
+    # ------------------------------------------------------- diagnostics
+    def _check_processes(self) -> None:
+        """Detect hard child deaths (exit without a ``done`` report)."""
+        now = time.monotonic()
+        for r, p in enumerate(self.procs):
+            if self.done[r] or p.is_alive():
+                continue
+            first = self._death_seen.setdefault(r, now)
+            if now - first < _HARD_DEATH_GRACE:
+                continue   # grace: its done envelope may still be in flight
+            reason = (f"process exited with code {p.exitcode} "
+                      f"without reporting a result")
+            err = CommError(f"rank {r}: {reason}")
+            err.origin_rank = r
+            self.done[r] = True
+            self.errors[r] = err
+            self.blocked.pop(r, None)
+            self.dead[r] = (r, reason)
+            self._broadcast(("dead", r, r, reason))
+
+    def _check_deadlock(self) -> None:
+        """Declare deadlock iff the marshalled wait-for graph is quiescent.
+
+        Mirrors ``_World.detect_deadlock``: every live rank blocked with a
+        *current* report (it has ingested everything routed to it and
+        found no match), no reorder holdback and no pending delayed
+        message.  Only called with the uplink idle, so a rank that had
+        just sent before blocking has had that send routed already.
+        """
+        if self.deadlock is not None:
+            return
+        live = [r for r in range(self.size) if not self.done[r]]
+        if not live:
+            return
+        for r in live:
+            b = self.blocked.get(r)
+            if b is None or b[5] != self.delivered[r]:
+                return   # r is running, or hasn't seen all its traffic yet
+        held = self.plan.flush_held()
+        if held:         # reorder holdbacks count as in-flight progress
+            for src, dest, tag, payload, visible in held:
+                self._route(dest, tag, payload, visible, src)
+            return
+        now = time.monotonic()
+        blocked = tuple(
+            BlockedRank(rank=r, op=self.blocked[r][0], peer=self.blocked[r][1],
+                        tag=self.blocked[r][2], waited=now - self.blocked[r][4])
+            for r in sorted(live))
+        edges = {r: ([self.blocked[r][1]]
+                     if self.blocked[r][1] != ANY_SOURCE
+                     else [x for x in live if x != r])
+                 for r in live}
+        self.deadlock = DeadlockReport(blocked=blocked,
+                                       cycle=_find_cycle(edges),
+                                       dead=tuple(sorted(self.dead)))
+        self._broadcast(("deadlock", self.deadlock))
+
+    def scrub(self) -> None:
+        """Free shm blocks of undeliverable (reorder-held) messages."""
+        for _, _, _, payload, _ in self.plan.flush_held():
+            _unlink_refs(payload)
+
+
+def run_ranks_process(size: int, fn: Callable[..., Any], *,
+                      timeout: float | None = None, args: tuple = (),
+                      faults: FaultPlan | None = None,
+                      return_exceptions: bool = False) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` forked rank processes.
+
+    The process-substrate twin of :func:`repro.parallel.simmpi.run_ranks`
+    (same signature, semantics and error-priority re-raise order); usually
+    reached through ``run_ranks(..., substrate="process")`` or
+    ``FOAM_COMM=process``.  Results and exceptions must be picklable —
+    they cross a process boundary (an unpicklable result is reported as a
+    structured :class:`CommError` on that rank).
+    """
+    if size < 1:
+        raise CommError(f"world size must be >= 1, got {size}")
+    if "fork" not in mp.get_all_start_methods():  # pragma: no cover - POSIX only
+        raise CommError("the process substrate requires the fork start method")
+    tmo = _default_timeout() if timeout is None else timeout
+    plan = faults or FaultPlan()
+    ctx = mp.get_context("fork")
+    # Start the shm resource tracker before forking so parent and children
+    # share one tracker: the creator's register and the consumer's
+    # unregister then land in the same ledger and cancel out.
+    from multiprocessing import resource_tracker
+    resource_tracker.ensure_running()
+    uplink = ctx.Queue()
+    downlinks = [ctx.Queue() for _ in range(size)]
+    procs = [ctx.Process(target=_child_main,
+                         args=(r, size, fn, args, uplink, downlinks[r],
+                               plan, tmo),
+                         daemon=True)
+             for r in range(size)]
+    for p in procs:
+        p.start()
+    router = _Router(size, uplink, downlinks, plan, procs, tmo)
+    try:
+        ok = router.run()
+    finally:
+        router.scrub()
+    for p in procs:
+        p.join(timeout=5.0 if ok else 0.2)
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - only on router timeout
+            p.terminate()
+            p.join(timeout=1.0)
+    for q in [uplink, *downlinks]:
+        q.cancel_join_thread()
+        q.close()
+    if not ok:
+        stuck = sum(1 for d in router.done if not d)
+        raise CommError(
+            f"{stuck} rank process(es) failed to finish (deadlock?)")
+    results = [None if blob is None else pickle.loads(blob)
+               for blob in router.results]
+    errors = router.errors
+    if return_exceptions:
+        return [errors[r] if errors[r] is not None else results[r]
+                for r in range(size)]
+    for picker in ((lambda e: not isinstance(e, CommError)),
+                   (lambda e: isinstance(e, RankCrashedError)),
+                   (lambda e: isinstance(e, DeadlockError)),
+                   (lambda e: True)):
+        for err in errors:
+            if err is not None and picker(err):
+                raise err
+    return results

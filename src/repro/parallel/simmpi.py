@@ -8,11 +8,19 @@ gather, scatter, alltoall, barrier) are implemented on top of point-to-point
 using the standard binomial-tree / pairwise-exchange algorithms, exactly as a
 portable MPI implementation would layer them.
 
-The goal is functional fidelity, not wall-clock parallel speedup: code that
-runs correctly on this layer (halo exchanges, spectral transposes, coupler
-gathers) is structured the same way the Fortran+MPI original was.  The
-companion ``repro.perf`` package models the *timing* of these exchanges on an
-IBM SP2-like machine.
+The communicator algorithms live in :mod:`repro.parallel.commbase`, shared
+with the real-process substrate (:mod:`repro.parallel.procmpi`): this module
+contributes the thread transport — a shared :class:`_World` of
+condition-variable mailboxes.  Threads are the default substrate because they
+are deterministic and cheap to spawn; pass ``substrate="process"`` to
+:func:`run_ranks` (or set ``FOAM_COMM=process``) to run the same worker on
+forked rank processes for real wall-clock parallelism.
+
+The thread substrate's goal is functional fidelity, not wall-clock parallel
+speedup: code that runs correctly on this layer (halo exchanges, spectral
+transposes, coupler gathers) is structured the same way the Fortran+MPI
+original was.  The companion ``repro.perf`` package models the *timing* of
+these exchanges on an IBM SP2-like machine.
 
 Diagnosability is first-class:
 
@@ -37,190 +45,44 @@ Typical usage::
         ...
         return comm.allreduce(local_sum, op="sum")
 
-    results = run_ranks(4, worker)
+    results = run_ranks(4, worker)                      # rank threads
+    results = run_ranks(4, worker, substrate="process")  # forked processes
 """
 
 from __future__ import annotations
 
-import os
-import sys
 import threading
 import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-import numpy as np
-
+from repro.parallel.commbase import (  # noqa: F401 - re-exported public API
+    ANY_SOURCE,
+    ANY_TAG,
+    _CTX_SHIFT,
+    _DEFAULT_TIMEOUT,
+    _POLL_SLICE,
+    _PYTEST_TIMEOUT,
+    _TAG_ALLTOALL,
+    _TAG_BCAST,
+    _TAG_GATHER,
+    _TAG_REDUCE,
+    _TAG_SCATTER,
+    BlockedRank,
+    CommBase,
+    CommError,
+    CommStats,
+    DeadlockError,
+    DeadlockReport,
+    RankCrashedError,
+    _combine,
+    _copy_payload,
+    _default_timeout,
+    _find_cycle,
+    _match,
+    _payload_nbytes,
+    resolve_substrate,
+)
 from repro.parallel.faults import FaultPlan
-
-ANY_SOURCE = -1
-ANY_TAG = -1
-_CTX_SHIFT = 36                # communicator-context bits above the tag space:
-                               # absolute tag = (ctx << _CTX_SHIFT) + tag, so
-                               # sub-communicator traffic can never match the
-                               # parent's (collective bases stop at 5 << 30)
-_DEFAULT_TIMEOUT = 120.0       # seconds before declaring a hang outside pytest
-_PYTEST_TIMEOUT = 10.0         # default under pytest: a genuine bug should not
-                               # cost the suite two minutes of sleeping
-_POLL_SLICE = 0.05             # receiver wake-up cadence for failure checks
-
-
-def _default_timeout() -> float:
-    """Resolve the default communication timeout for this process.
-
-    ``REPRO_SIMMPI_TIMEOUT`` overrides; otherwise the default is low when
-    running under pytest.  The timeout is a last-resort backstop — genuine
-    deadlocks are caught by the wait-for-graph detector long before it.
-    """
-    env = os.environ.get("REPRO_SIMMPI_TIMEOUT")
-    if env:
-        return float(env)
-    if os.environ.get("PYTEST_CURRENT_TEST") or "pytest" in sys.modules:
-        return _PYTEST_TIMEOUT
-    return _DEFAULT_TIMEOUT
-
-
-class CommError(RuntimeError):
-    """Raised on misuse of the communicator (bad rank, dead peer, timeout)."""
-
-
-class RankCrashedError(CommError):
-    """Raised on the victim rank by an injected ``FaultPlan.crash`` rule."""
-
-
-@dataclass(frozen=True)
-class BlockedRank:
-    """One blocked rank in a :class:`DeadlockReport`."""
-
-    rank: int
-    op: str                    # operation label: recv, barrier, alltoall, ...
-    peer: int                  # source rank it waits on; ANY_SOURCE if wildcard
-    tag: int                   # tag it waits on; ANY_TAG if wildcard
-    waited: float              # seconds spent blocked when diagnosed
-
-    def __str__(self) -> str:
-        peer = "ANY" if self.peer == ANY_SOURCE else self.peer
-        tag = "ANY" if self.tag == ANY_TAG else self.tag
-        return (f"rank {self.rank}: blocked in {self.op}(source={peer}, "
-                f"tag={tag}) for {self.waited:.2f}s")
-
-
-@dataclass(frozen=True)
-class DeadlockReport:
-    """Structured diagnosis of a wedged world.
-
-    ``blocked`` lists every live blocked rank with its operation, peer and
-    tag; ``cycle`` is a wait-for cycle if one exists (``r`` waits on the
-    next entry, the last waits on the first); ``dead`` lists crashed ranks
-    implicated in the hang.
-    """
-
-    blocked: tuple[BlockedRank, ...]
-    cycle: tuple[int, ...] = ()
-    dead: tuple[int, ...] = ()
-
-    @property
-    def ranks(self) -> tuple[int, ...]:
-        return tuple(b.rank for b in self.blocked)
-
-    def __str__(self) -> str:
-        lines = [f"deadlock among {len(self.blocked)} rank(s):"]
-        lines += [f"  {b}" for b in self.blocked]
-        if self.cycle:
-            lines.append("  wait-for cycle: "
-                         + " -> ".join(str(r) for r in self.cycle)
-                         + f" -> {self.cycle[0]}")
-        if self.dead:
-            lines.append("  crashed rank(s): "
-                         + ", ".join(str(r) for r in self.dead))
-        return "\n".join(lines)
-
-
-class DeadlockError(CommError):
-    """A diagnosed deadlock; ``.report`` holds the :class:`DeadlockReport`."""
-
-    def __init__(self, report: DeadlockReport):
-        super().__init__(str(report))
-        self.report = report
-
-
-@dataclass
-class CommStats:
-    """Per-rank message/byte/operation counters.
-
-    ``op_*`` dictionaries are keyed by the *outermost* operation label
-    active when traffic moved — a send inside ``bcast`` inside ``barrier``
-    is charged to ``"barrier"`` — so transports like the spectral transpose
-    can label their traffic (``"transpose.forward"``) and the performance
-    model can be calibrated from measured volumes
-    (:func:`repro.perf.costmodel.transpose_bytes_from_stats`).
-    """
-
-    rank: int
-    msgs_sent: int = 0
-    bytes_sent: int = 0
-    msgs_recv: int = 0
-    bytes_recv: int = 0
-    op_calls: dict[str, int] = field(default_factory=dict)   # label -> # calls
-    op_msgs: dict[str, int] = field(default_factory=dict)    # label -> msgs sent
-    op_bytes: dict[str, int] = field(default_factory=dict)   # label -> bytes sent
-    peer_msgs: dict[int, int] = field(default_factory=dict)  # dest -> msgs sent
-    peer_bytes: dict[int, int] = field(default_factory=dict)  # dest -> bytes sent
-
-    def note_call(self, op: str) -> None:
-        self.op_calls[op] = self.op_calls.get(op, 0) + 1
-
-    def note_send(self, op: str, dest: int, nbytes: int) -> None:
-        self.msgs_sent += 1
-        self.bytes_sent += nbytes
-        self.op_msgs[op] = self.op_msgs.get(op, 0) + 1
-        self.op_bytes[op] = self.op_bytes.get(op, 0) + nbytes
-        self.peer_msgs[dest] = self.peer_msgs.get(dest, 0) + 1
-        self.peer_bytes[dest] = self.peer_bytes.get(dest, 0) + nbytes
-
-    def note_recv(self, nbytes: int) -> None:
-        self.msgs_recv += 1
-        self.bytes_recv += nbytes
-
-    def bytes_for(self, prefix: str) -> int:
-        """Total bytes sent under operation labels starting with ``prefix``."""
-        return sum(v for k, v in self.op_bytes.items() if k.startswith(prefix))
-
-    def msgs_for(self, prefix: str) -> int:
-        """Total messages sent under labels starting with ``prefix``."""
-        return sum(v for k, v in self.op_msgs.items() if k.startswith(prefix))
-
-
-def _find_cycle(edges: dict[int, list[int]]) -> tuple[int, ...]:
-    """Find one cycle in a wait-for graph; () if none."""
-    WHITE, GREY, BLACK = 0, 1, 2
-    color = {r: WHITE for r in edges}
-    for start in edges:
-        if color[start] != WHITE:
-            continue
-        stack = [(start, iter(edges[start]))]
-        color[start] = GREY
-        path = [start]
-        while stack:
-            node, it = stack[-1]
-            advanced = False
-            for nxt in it:
-                if nxt not in color:
-                    continue
-                if color[nxt] == GREY:
-                    return tuple(path[path.index(nxt):])
-                if color[nxt] == WHITE:
-                    color[nxt] = GREY
-                    stack.append((nxt, iter(edges[nxt])))
-                    path.append(nxt)
-                    advanced = True
-                    break
-            if not advanced:
-                color[node] = BLACK
-                stack.pop()
-                path.pop()
-    return ()
 
 
 class _World:
@@ -317,93 +179,44 @@ class _World:
         return report
 
 
-class SimComm:
-    """Communicator for one rank of a simulated MPI world.
+class SimComm(CommBase):
+    """Communicator for one rank of a thread-substrate simulated MPI world.
 
-    Mirrors the mpi4py API subset the model uses.  Lower-case methods move
-    arbitrary Python objects; arrays are passed by reference after a defensive
-    copy at send time (MPI semantics: the send buffer may be reused by the
-    sender immediately after ``send`` returns).
+    The collective algorithms and the public API live in
+    :class:`~repro.parallel.commbase.CommBase`; this class provides the
+    thread transport: blocking point-to-point over the shared
+    :class:`_World` mailboxes, fault injection under the world lock, and
+    in-place wait-for-graph deadlock detection (every rank can see the
+    whole world's blocked set, so the last rank to block diagnoses the
+    cycle itself).
     """
 
     def __init__(self, rank: int, size: int, world: _World,
                  timeout: float | None = None, *,
                  group: Sequence[int] | None = None, ctx: int = 0,
                  stats: CommStats | None = None):
-        if not 0 <= rank < size:
-            raise CommError(f"rank {rank} out of range for world size {size}")
-        self.rank = rank
-        self.size = size
+        super().__init__(rank, size, timeout=timeout, group=group, ctx=ctx,
+                         stats=stats)
         self._world = world
-        self._timeout = _default_timeout() if timeout is None else timeout
-        # Sub-communicator plumbing: ``group`` maps local -> world ranks
-        # (None = identity, the world communicator fast path); ``ctx`` is
-        # the context id stamped into message tags.  Liveness, deadlock
-        # reports and mailboxes always operate on world ranks.
-        self._group = list(group) if group is not None else None
-        self._ctx = ctx
-        self._wrank = rank if self._group is None else self._group[rank]
-        self.stats = stats if stats is not None else CommStats(rank=rank)
-        # Collective sequence number: every rank calls collectives in the
-        # same order, so stamping the tag with a per-call counter keeps
-        # back-to-back collectives from consuming each other's messages.
-        self._collective_seq = 0
-        self._split_seq = 0
-        self._op_stack: list[str] = []
-        self._op_count = 0
-
-    def _to_world(self, rank: int) -> int:
-        return rank if self._group is None else self._group[rank]
-
-    # Legacy counter aliases (pre-CommStats API).
-    @property
-    def bytes_sent(self) -> int:
-        return self.stats.bytes_sent
-
-    @property
-    def messages_sent(self) -> int:
-        return self.stats.msgs_sent
-
-    @contextmanager
-    def _op(self, name: str):
-        """Operation scope: labels traffic and triggers injected crashes.
-
-        Only the *outermost* scope counts toward ``op_calls`` and the crash
-        op counter, so ``allreduce`` is one op even though it layers on
-        ``reduce`` + ``bcast``.
-        """
-        outermost = not self._op_stack
-        self._op_stack.append(name)
-        try:
-            if outermost:
-                self.stats.note_call(name)
-                self._op_count += 1
-                with self._world.cond:
-                    msg = self._world.faults.crash_message(
-                        self._wrank, self._op_count, name)
-                if msg is not None:
-                    raise RankCrashedError(msg)
-            yield
-        finally:
-            self._op_stack.pop()
 
     # ------------------------------------------------------------------
-    # point-to-point
+    # substrate hooks
     # ------------------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking standard-mode send (buffered: never deadlocks by itself)."""
-        with self._op("send"):
-            self._send(obj, dest, tag)
+    def _crash_message(self, op: str) -> str | None:
+        with self._world.cond:
+            return self._world.faults.crash_message(
+                self._wrank, self._op_count, op)
+
+    def _allocate_context(self, key: tuple) -> int:
+        return self._world.allocate_context(key)
+
+    def _spawn(self, new_rank: int, group: list[int], ctx: int) -> "SimComm":
+        return SimComm(new_rank, len(group), self._world,
+                       timeout=self._timeout, group=group, ctx=ctx,
+                       stats=self.stats)
 
     def _send(self, obj: Any, dest: int, tag: int) -> None:
-        if not isinstance(dest, (int, np.integer)):
-            # Catch swapped send(dest, obj) arguments with a clear error
-            # instead of an unhashable-type failure inside the stats layer.
-            raise TypeError(
-                f"send: dest must be an integer rank, got "
-                f"{type(dest).__name__} — signature is send(obj, dest, tag)")
-        if not 0 <= dest < self.size:
-            raise CommError(f"send: bad destination rank {dest}")
+        self._check_send_args(dest)
         payload = _copy_payload(obj)
         op = self._op_stack[0]
         world = self._world
@@ -418,14 +231,8 @@ class SimComm:
             if deliveries:
                 world.cond.notify_all()
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        """Blocking receive matching (source, tag); wildcards allowed."""
-        with self._op("recv"):
-            return self._recv(source, tag)
-
     def _recv(self, source: int, tag: int) -> Any:
-        if source != ANY_SOURCE and not 0 <= source < self.size:
-            raise CommError(f"recv: bad source rank {source}")
+        self._check_recv_args(source)
         op = self._op_stack[0]
         world = self._world
         me = self._wrank
@@ -455,7 +262,8 @@ class SimComm:
                     if next_visible is None:
                         # No matching (even delayed) traffic pending: check
                         # whether the awaited peer can still ever send.
-                        self._check_peer_liveness(source, tag, op)
+                        self._peer_liveness_error(source, tag, op,
+                                                  world.dead, world.finished)
                     report = world.detect_deadlock(now)
                     if report is not None:
                         raise DeadlockError(report)
@@ -470,260 +278,18 @@ class SimComm:
             finally:
                 world.blocked.pop(me, None)
 
-    def _check_peer_liveness(self, source: int, tag: int, op: str) -> None:
-        """Fail fast when the awaited peer(s) can never send; lock held.
 
-        ``source`` is communicator-local; liveness is tracked (and reported)
-        in world ranks.
-        """
-        world = self._world
-        if source != ANY_SOURCE:
-            src_w = self._to_world(source)
-            if src_w in world.dead:
-                origin, reason = world.dead[src_w]
-                err = CommError(
-                    f"rank {self._wrank}: {op}(source={src_w}, tag={tag}) failed "
-                    f"— rank {origin} crashed ({reason})")
-                err.origin_rank = origin
-                raise err
-            if src_w in world.finished:
-                raise CommError(
-                    f"rank {self._wrank}: {op}(source={src_w}, tag={tag}) can "
-                    f"never complete — rank {src_w} already finished")
-            return
-        others = [self._to_world(r) for r in range(self.size) if r != self.rank]
-        if others and all(r in world.finished or r in world.dead for r in others):
-            dead = sorted(r for r in others if r in world.dead)
-            if dead:
-                origin, reason = world.dead[dead[0]]
-                err = CommError(
-                    f"rank {self._wrank}: {op}(source=ANY, tag={tag}) failed "
-                    f"— rank {origin} crashed ({reason})")
-                err.origin_rank = origin
-                raise err
-            raise CommError(
-                f"rank {self._wrank}: {op}(source=ANY, tag={tag}) can never "
-                f"complete — all peers already finished")
-
-    def sendrecv(self, obj: Any, dest: int, source: int,
-                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
-        """Combined send+receive; safe for shift patterns (send is buffered)."""
-        with self._op("sendrecv"):
-            self._send(obj, dest, sendtag)
-            return self._recv(source, recvtag)
-
-    # ------------------------------------------------------------------
-    # collectives (layered on point-to-point, as in a portable MPI)
-    # ------------------------------------------------------------------
-    def _collective_tag(self, base: int) -> int:
-        self._collective_seq += 1
-        return base + self._collective_seq
-
-    def barrier(self) -> None:
-        """Synchronize all ranks (gather-to-root then broadcast).
-
-        Layering the barrier on point-to-point means a crashed or wedged
-        peer is diagnosed by the same machinery as any other exchange: the
-        deadlock report names the operation as ``barrier``.
-        """
-        with self._op("barrier"):
-            self.gather(None, root=0)
-            self.bcast(None, root=0)
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Binomial-tree broadcast from root; returns the object on all ranks."""
-        with self._op("bcast"):
-            tag = self._collective_tag(_TAG_BCAST)
-            rel = (self.rank - root) % self.size
-            # Receive phase: a non-root rank receives from the parent at its
-            # lowest set bit (standard MPICH binomial tree).
-            mask = 1
-            while mask < self.size:
-                if rel & mask:
-                    obj = self._recv((rel - mask + root) % self.size, tag)
-                    break
-                mask <<= 1
-            # Send phase: forward to children at all lower bits, descending.
-            mask >>= 1
-            while mask > 0:
-                if rel + mask < self.size:
-                    self._send(obj, (rel + mask + root) % self.size, tag)
-                mask >>= 1
-            return obj
-
-    def reduce(self, obj: Any, op: str = "sum", root: int = 0) -> Any:
-        """Binomial-tree reduction to root; returns result on root, None elsewhere."""
-        with self._op("reduce"):
-            tag = self._collective_tag(_TAG_REDUCE)
-            rel = (self.rank - root) % self.size
-            acc = obj
-            mask = 1
-            while mask < self.size:
-                if rel & mask:
-                    self._send(acc, (rel - mask + root) % self.size, tag)
-                    break
-                partner = rel + mask
-                if partner < self.size:
-                    other = self._recv((partner + root) % self.size, tag)
-                    acc = _combine(acc, other, op)
-                mask <<= 1
-            return acc if self.rank == root else None
-
-    def allreduce(self, obj: Any, op: str = "sum") -> Any:
-        """Reduce-then-broadcast allreduce."""
-        with self._op("allreduce"):
-            result = self.reduce(obj, op=op, root=0)
-            return self.bcast(result, root=0)
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather one object per rank into a list on root (rank order)."""
-        with self._op("gather"):
-            tag = self._collective_tag(_TAG_GATHER)
-            if self.rank == root:
-                out: list[Any] = [None] * self.size
-                out[root] = _copy_payload(obj)
-                for _ in range(self.size - 1):
-                    src, payload = self._recv(ANY_SOURCE, tag)
-                    out[src] = payload
-                return out
-            self._send((self.rank, obj), root, tag)
-            return None
-
-    def allgather(self, obj: Any) -> list[Any]:
-        """Gather to root then broadcast the full list."""
-        with self._op("allgather"):
-            full = self.gather(obj, root=0)
-            return self.bcast(full, root=0)
-
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter a sequence of world-size objects from root."""
-        with self._op("scatter"):
-            tag = self._collective_tag(_TAG_SCATTER)
-            if self.rank == root:
-                if objs is None or len(objs) != self.size:
-                    raise CommError(f"scatter: root must supply {self.size} items")
-                for dest in range(self.size):
-                    if dest != root:
-                        self._send(objs[dest], dest, tag)
-                return _copy_payload(objs[root])
-            return self._recv(root, tag)
-
-    def alltoall(self, objs: Sequence[Any], op: str = "alltoall") -> list[Any]:
-        """Personalized all-to-all via pairwise exchange rounds.
-
-        This is the communication kernel of the parallel spectral transform
-        (Foster & Worley 1997): each rank sends a distinct block to every
-        other rank.  ``op`` lets transports label their traffic (e.g.
-        ``"transpose.forward"``) in deadlock reports and :class:`CommStats`.
-        """
-        if len(objs) != self.size:
-            raise CommError(f"alltoall: need {self.size} items, got {len(objs)}")
-        with self._op(op):
-            tag = self._collective_tag(_TAG_ALLTOALL)
-            out: list[Any] = [None] * self.size
-            out[self.rank] = _copy_payload(objs[self.rank])
-            for step in range(1, self.size):
-                dest = (self.rank + step) % self.size
-                src = (self.rank - step) % self.size
-                self._send(objs[dest], dest, tag)
-                out[src] = self._recv(src, tag)
-            return out
-
-    # ------------------------------------------------------------------
-    # sub-communicators
-    # ------------------------------------------------------------------
-    def split(self, color: int | None, key: int | None = None) -> "SimComm | None":
-        """Partition the communicator, MPI_Comm_split style (collective).
-
-        Ranks passing the same ``color`` form a new communicator, ordered
-        by ``(key, rank)`` (``key`` defaults to the current rank, so rank
-        order is preserved).  ``color=None`` opts out, as MPI_UNDEFINED
-        does: the rank participates in the collective but gets ``None``.
-
-        The sub-communicator exchanges messages in its own tag context, so
-        its traffic (including collectives) can never match the parent's or
-        a sibling group's even with equal tags.  Deadlock reports, crash
-        diagnostics and :class:`CommStats` keep identifying ranks by their
-        *world* rank; the stats object is shared with the parent so one
-        counter sees a rank's total traffic.
-        """
-        with self._op("split"):
-            entries = self.allgather(
-                (color, self.rank if key is None else key, self.rank))
-        self._split_seq += 1
-        if color is None:
-            return None
-        members = sorted((k, r) for c, k, r in entries if c == color)
-        group = [self._to_world(r) for _, r in members]
-        new_rank = [r for _, r in members].index(self.rank)
-        ctx = self._world.allocate_context(
-            ("split", self._ctx, self._split_seq, color))
-        return SimComm(new_rank, len(group), self._world,
-                       timeout=self._timeout, group=group, ctx=ctx,
-                       stats=self.stats)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimComm(rank={self.rank}, size={self.size})"
-
-
-_TAG_BCAST = 1 << 30
-_TAG_REDUCE = 2 << 30
-_TAG_GATHER = 3 << 30
-_TAG_SCATTER = 4 << 30
-_TAG_ALLTOALL = 5 << 30
-
-
-def _match(src: int, tag: int, want_src: int, want_tag: int,
-           ctx: int = 0) -> bool:
-    """Envelope match: ``tag`` is absolute (context-stamped), ``want_tag``
-    communicator-local.  ANY_TAG still only matches within the context."""
-    if want_src not in (ANY_SOURCE, src):
-        return False
-    if want_tag == ANY_TAG:
-        return tag >> _CTX_SHIFT == ctx
-    return tag == (ctx << _CTX_SHIFT) + want_tag
-
-
-def _copy_payload(obj: Any) -> Any:
-    """Copy send buffers so the sender may safely reuse them (MPI semantics)."""
-    if isinstance(obj, np.ndarray):
-        return obj.copy()
-    if isinstance(obj, tuple):
-        return tuple(_copy_payload(o) for o in obj)
-    if isinstance(obj, list):
-        return [_copy_payload(o) for o in obj]
-    if isinstance(obj, dict):
-        return {k: _copy_payload(v) for k, v in obj.items()}
-    return obj
-
-
-def _payload_nbytes(obj: Any) -> int:
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, (tuple, list)):
-        return sum(_payload_nbytes(o) for o in obj)
-    if isinstance(obj, dict):
-        return sum(_payload_nbytes(v) for v in obj.values())
-    return 64  # rough envelope for small scalars/objects
-
-
-def _combine(a: Any, b: Any, op: str) -> Any:
-    if op == "sum":
-        return a + b
-    if op == "max":
-        return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
-    if op == "min":
-        return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
-    if op == "prod":
-        return a * b
-    raise CommError(f"unsupported reduction op {op!r}")
-
-
-def run_ranks(size: int, fn: Callable[[SimComm], Any], *,
+def run_ranks(size: int, fn: Callable[..., Any], *,
               timeout: float | None = None, args: tuple = (),
               faults: FaultPlan | None = None,
-              return_exceptions: bool = False) -> list[Any]:
-    """Run ``fn(comm, *args)`` on ``size`` rank threads; return per-rank results.
+              return_exceptions: bool = False,
+              substrate: str | None = None) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
+
+    ``substrate`` picks the transport: ``"thread"`` (default) runs ranks as
+    threads of this process; ``"process"`` forks real rank processes
+    (:func:`repro.parallel.procmpi.run_ranks_process`) for wall-clock
+    parallelism.  ``None`` defers to the ``FOAM_COMM`` environment variable.
 
     ``timeout`` bounds every blocking operation; ``None`` resolves via
     :func:`_default_timeout` (low under pytest, ``REPRO_SIMMPI_TIMEOUT``
@@ -731,13 +297,18 @@ def run_ranks(size: int, fn: Callable[[SimComm], Any], *,
     :class:`~repro.parallel.faults.FaultPlan` perturbing all traffic.
 
     With ``return_exceptions=False`` (default), exceptions on any rank are
-    re-raised in the caller after all threads have been joined, preferring
+    re-raised in the caller after all ranks have been joined, preferring
     the root cause: genuine (non-communication) errors first, then injected
     crashes, then structured deadlock reports, then secondary ``CommError``
     fallout.  With ``return_exceptions=True``, each rank's slot in the
     result list holds either its return value or the exception it raised —
     the mode fault-injection tests use to assert what *every* peer saw.
     """
+    if resolve_substrate(substrate) == "process":
+        from repro.parallel.procmpi import run_ranks_process
+        return run_ranks_process(size, fn, timeout=timeout, args=args,
+                                 faults=faults,
+                                 return_exceptions=return_exceptions)
     if size < 1:
         raise CommError(f"world size must be >= 1, got {size}")
     tmo = _default_timeout() if timeout is None else timeout

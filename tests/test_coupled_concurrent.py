@@ -17,7 +17,7 @@ import pytest
 
 from repro.core import FoamModel
 from repro.core import test_config as tiny_config
-from repro.parallel import DeadlockError, run_ranks
+from repro.parallel import DeadlockError, resolve_substrate, run_ranks
 from repro.parallel.coupled import (
     TAG_ATM_STATE,
     TAG_FORCING,
@@ -180,6 +180,10 @@ def test_workspace_arenas_disjoint(concurrent):
 
 
 def test_eventsim_prediction_tracks_functional(serial, concurrent, cfg):
+    if resolve_substrate() == "process":
+        pytest.skip("calibration envelope is a thread-substrate contract: "
+                    "forked ranks on a multi-core host change the "
+                    "functional/predicted timing ratio by design")
     serial_costs = calibrate_from_profile(serial["profile"])
     conc_costs = calibrate_concurrent_from_profile(concurrent.profile,
                                                    n_atm_ranks=LAYOUT.n_atm)

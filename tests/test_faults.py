@@ -6,6 +6,14 @@ recv/recv tag-mismatch cycle is diagnosed as a structured
 :class:`DeadlockReport` within ~2 seconds, not a 120-second timeout; and
 every FaultPlan perturbation (delay, reorder, duplicate, corrupt, crash)
 is observable through the normal API.
+
+ISSUE 7 extends the same guarantees to the real-process substrate: the
+``process substrate`` section pins that an injected crash is named on
+every peer *process* and that a mis-tagged coupler exchange on forked
+rank pools still yields a marshalled :class:`DeadlockReport` in under a
+second.  (The whole module also runs under ``FOAM_COMM=process`` in CI,
+which routes every ``run_ranks`` world here through the process
+substrate.)
 """
 
 import time
@@ -14,14 +22,21 @@ import numpy as np
 import pytest
 
 from repro.parallel import (
+    CommBase,
     CommError,
     DeadlockError,
     FaultPlan,
     RankCrashedError,
-    SimComm,
     block_bounds,
     run_ranks,
     transpose_forward,
+)
+from repro.parallel.coupled import (
+    TAG_ATM_STATE,
+    TAG_FORCING,
+    TAG_SST,
+    TAG_SURFACE,
+    PoolLayout,
 )
 
 pytestmark = pytest.mark.parallel
@@ -123,7 +138,7 @@ def test_tag_mismatch_in_transpose_forward_is_diagnosed():
     rng = np.random.default_rng(0)
     full = rng.normal(size=(nrows, ncols))
 
-    orig = SimComm._collective_tag
+    orig = CommBase._collective_tag
 
     def skewed_tag(self, base):
         # Rank-dependent collective tags: the textbook way transposes wedge.
@@ -133,14 +148,16 @@ def test_tag_mismatch_in_transpose_forward_is_diagnosed():
         lo, hi = block_bounds(nrows, comm.size, comm.rank)
         return transpose_forward(comm, full[lo:hi], nrows, ncols)
 
-    SimComm._collective_tag = skewed_tag
+    # Patch the substrate-shared base so the skew applies on thread AND
+    # process communicators (forked children inherit the patched class).
+    CommBase._collective_tag = skewed_tag
     try:
         t0 = time.monotonic()
         with pytest.raises(DeadlockError) as excinfo:
             run_ranks(3, worker, timeout=60.0)
         elapsed = time.monotonic() - t0
     finally:
-        SimComm._collective_tag = orig
+        CommBase._collective_tag = orig
 
     assert elapsed < 5.0, f"transpose deadlock diagnosis took {elapsed:.1f}s"
     report = excinfo.value.report
@@ -253,3 +270,79 @@ def test_comm_stats_label_traffic_by_operation():
     assert total_sent == total_recv > 0
     # Traffic inside the barrier's gather/bcast is charged to "barrier".
     assert sum(s.op_msgs.get("barrier", 0) for s in stats) > 0
+
+
+# -------------------------------------------------------- process substrate
+def test_process_crash_named_on_every_peer_process():
+    """ISSUE 7: an injected crash in a forked rank process surfaces as a
+    CommError naming the dead rank on every peer process — the diagnosis
+    crosses the process boundary intact (origin_rank included)."""
+    def worker(comm):
+        if comm.rank == 2:
+            comm.barrier()  # injected crash fires here
+            return "unreachable"
+        return comm.recv(source=2, tag=9)
+
+    t0 = time.monotonic()
+    out = run_ranks(4, worker, timeout=30.0,
+                    faults=FaultPlan().crash(rank=2, at_op=1),
+                    return_exceptions=True, substrate="process")
+    elapsed = time.monotonic() - t0
+    assert elapsed < 5.0, f"crash diagnosis took {elapsed:.1f}s"
+    assert isinstance(out[2], RankCrashedError)
+    for rank in (0, 1, 3):
+        assert isinstance(out[rank], CommError), \
+            f"rank {rank} did not fail cleanly: {out[rank]!r}"
+        assert "rank 2 crashed" in str(out[rank])
+        assert out[rank].origin_rank == 2
+
+
+def test_process_mistagged_coupler_exchange_deadlock_report():
+    """ISSUE 7: a wrong-tag coupler exchange on forked rank pools yields a
+    DeadlockReport — marshalled back from the child processes — naming
+    every blocked rank with its op, peer and tag, in under a second."""
+    layout = PoolLayout(n_atm=2, n_ocn=1)
+
+    def worker(comm):
+        role = layout.role_of(comm.rank)
+        if role == "atm":
+            return comm.recv(layout.cpl_rank, TAG_SURFACE)
+        if role == "cpl":
+            # Mis-tagged: the forcing goes out under TAG_SST, so the ocean
+            # (waiting on TAG_FORCING) never matches it.
+            comm.send({"taux": np.zeros(3)}, layout.ocn_leader, TAG_SST)
+            return comm.recv(layout.atm_ranks[0], TAG_ATM_STATE)
+        return comm.recv(layout.cpl_rank, TAG_FORCING)
+
+    t0 = time.monotonic()
+    with pytest.raises(DeadlockError) as excinfo:
+        run_ranks(layout.world_size, worker, timeout=60.0,
+                  substrate="process")
+    elapsed = time.monotonic() - t0
+    assert elapsed < 1.0, f"deadlock diagnosis took {elapsed:.1f}s"
+
+    report = excinfo.value.report
+    assert set(report.ranks) == {0, 1, 2, 3}
+    by_rank = {b.rank: b for b in report.blocked}
+    for r in layout.atm_ranks:
+        assert by_rank[r].peer == layout.cpl_rank
+        assert by_rank[r].tag == TAG_SURFACE
+        assert by_rank[r].op == "recv"
+    assert by_rank[layout.ocn_leader].peer == layout.cpl_rank
+    assert by_rank[layout.ocn_leader].tag == TAG_FORCING
+
+
+def test_process_faults_thread_through_collectives():
+    """The router applies FaultPlan transforms: corruption of root's
+    outbound traffic perturbs a process-substrate bcast identically to
+    the thread substrate (including shm-parked bulk payloads)."""
+    big = 16384  # float64 payload over the shm threshold (128 KiB)
+
+    def worker(comm):
+        return comm.bcast(np.ones(big) if comm.rank == 0 else None, root=0)
+
+    out = run_ranks(2, worker, timeout=30.0,
+                    faults=FaultPlan().corrupt(src=0, dest=1),
+                    substrate="process")
+    np.testing.assert_array_equal(out[0], np.ones(big))       # root untouched
+    np.testing.assert_array_equal(out[1], -np.ones(big) - 1)  # peer corrupted

@@ -200,11 +200,19 @@ def test_thread_safety_across_threads(fresh_profiler):
 
 @pytest.mark.parallel
 def test_simmpi_rank_threads_profile_transpose(fresh_profiler):
-    """The instrumented simmpi transpose profiles correctly from rank threads."""
+    """The instrumented simmpi transpose profiles correctly from rank threads.
+
+    Pinned to the thread substrate: the property under test is that the
+    *parent's* global profiler aggregates sections recorded by rank threads
+    sharing its process.  Forked ranks profile into their own processes
+    (the coupled driver marshals those back explicitly via per-rank
+    RunProfiles instead).
+    """
     from repro.parallel.components import measure_transpose_comm
 
     nranks = 4
-    stats = measure_transpose_comm(nranks, nlat=16, nm=8, nlev=3)
+    stats = measure_transpose_comm(nranks, nlat=16, nm=8, nlev=3,
+                                   substrate="thread")
     profile = take_profile("transpose")
     fwd = profile["transpose.forward"]
     bwd = profile["transpose.backward"]

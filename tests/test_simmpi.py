@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import ANY_SOURCE, CommError, DeadlockError, run_ranks
+from repro.parallel import ANY_SOURCE, CommError, CommStats, DeadlockError, run_ranks
 
 pytestmark = pytest.mark.parallel
 
@@ -207,6 +207,37 @@ def test_bytes_accounting():
     out = run_ranks(2, worker)
     assert out[0] == 8000
     assert out[1] == 0
+
+
+def test_comm_stats_merge_sums_every_counter():
+    """CommStats.merge is the exact column sum of the per-rank counters —
+    the process substrate relies on it to fold child-process stats into a
+    world view without losing a byte."""
+    a = CommStats(rank=0)
+    a.note_send("transpose.forward", dest=1, nbytes=100)
+    a.note_send("transpose.forward", dest=2, nbytes=50)
+    a.note_recv(8)
+    a.note_call("bcast")
+    b = CommStats(rank=1)
+    b.note_send("bcast", dest=0, nbytes=8)
+    b.note_recv(100)
+    b.note_recv(8)
+    b.note_call("bcast")
+
+    m = CommStats.merge([a, b], rank=-1)
+    assert m.rank == -1
+    assert m.msgs_sent == 3 and m.bytes_sent == 158
+    assert m.msgs_recv == 3 and m.bytes_recv == 116
+    assert m.bytes_for("transpose") == 150
+    assert m.op_calls["bcast"] == 2
+    assert m.peer_bytes[1] == 100 and m.peer_bytes[2] == 50
+    assert m.peer_bytes[0] == 8
+    # Merging merges is still a plain sum (associativity).
+    mm = CommStats.merge([CommStats.merge([a]), CommStats.merge([b])])
+    assert mm.op_bytes == m.op_bytes and mm.bytes_sent == m.bytes_sent
+    # Neutral element: merging nothing is all-zero.
+    z = CommStats.merge([])
+    assert z.msgs_sent == 0 and z.op_bytes == {}
 
 
 # -------------------------------------------------------------------- split
