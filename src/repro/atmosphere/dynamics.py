@@ -73,7 +73,8 @@ class SpectralDynamicalCore:
     def __init__(self, transform: SpectralTransform, vgrid: VerticalGrid,
                  dt: float = 1800.0, robert: float = 0.04,
                  diffusion_coefficient: float | None = None,
-                 semi_implicit: bool = True):
+                 semi_implicit: bool = True,
+                 rotation_factor: float = 1.0):
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         self.tr = transform
@@ -97,7 +98,11 @@ class SpectralDynamicalCore:
 
         # Coriolis parameter as a grid field; f also enters the vorticity
         # equation through the nonlinear terms only (f itself is Y_1^0).
-        self.f_grid = (2.0 * OMEGA * transform.mu[:, None]
+        # ``rotation_factor`` scales the planetary rotation (1 = Earth;
+        # multiplying by exactly 1.0 is bitwise neutral).
+        self.rotation_factor = float(rotation_factor)
+        self.f_grid = (2.0 * (OMEGA * self.rotation_factor)
+                       * transform.mu[:, None]
                        * np.ones((1, transform.nlon))
                        ).astype(transform.policy.float_dtype, copy=False)
 

@@ -32,6 +32,7 @@ from repro.atmosphere.physics.convection import (
 )
 from repro.atmosphere.physics.radiation import (
     RadiationParams,
+    fixed_subsolar_cos,
     longwave,
     shortwave,
     solar_zenith_cos,
@@ -116,7 +117,11 @@ class PhysicsSuite:
             with profile_section("radiation"):
                 day = (time / SECONDS_PER_DAY) % 365.0
                 secs = time % SECONDS_PER_DAY
-                cosz = solar_zenith_cos(lats, day, secs, lons)
+                if self.rad.subsolar_lon_deg is not None:
+                    cosz = fixed_subsolar_cos(lats, lons,
+                                              self.rad.subsolar_lon_deg)
+                else:
+                    cosz = solar_zenith_cos(lats, day, secs, lons)
                 sw_heat, sw_sfc, sw_toa_refl = shortwave(
                     temp, q, pressure, dp, cosz, surface.albedo, self.rad)
                 lw_heat, olr, lw_down, lw_net_sfc = longwave(

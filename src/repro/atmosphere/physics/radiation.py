@@ -39,6 +39,11 @@ from repro.util.thermo import saturation_mixing_ratio
 class RadiationParams:
     """Tunable coefficients of the simplified radiation package."""
 
+    solar_constant: float = SOLAR_CONSTANT  # W m^-2 (scenario knob)
+    # Fixed-sun insolation for tidally locked worlds: the subsolar point
+    # stays pinned at this longitude (degrees, zero declination).  None
+    # keeps the normal diurnal + seasonal cycle.
+    subsolar_lon_deg: float | None = None
     co2_ppmv: float = 355.0          # early-1990s concentration
     cloud_rh_threshold: float = 0.80
     cloud_albedo_max: float = 0.55
@@ -63,15 +68,30 @@ def solar_zenith_cos(lats: np.ndarray, day_of_year: float, seconds_utc: float,
     return np.maximum(mu, 0.0)
 
 
-def diurnal_mean_insolation(lats: np.ndarray, day_of_year: float) -> np.ndarray:
+def diurnal_mean_insolation(lats: np.ndarray, day_of_year: float,
+                            solar_constant: float = SOLAR_CONSTANT
+                            ) -> np.ndarray:
     """Daily-mean TOA insolation (W m^-2) per latitude — the cheap option."""
     decl = np.deg2rad(23.45) * np.sin(2.0 * np.pi * (284.0 + day_of_year) / 365.0)
     lat = lats
     cos_h0 = np.clip(-np.tan(lat) * np.tan(decl), -1.0, 1.0)
     h0 = np.arccos(cos_h0)
-    q = (SOLAR_CONSTANT / np.pi) * (
+    q = (solar_constant / np.pi) * (
         h0 * np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.sin(h0))
     return np.maximum(q, 0.0)
+
+
+def fixed_subsolar_cos(lats: np.ndarray, lons: np.ndarray,
+                       subsolar_lon_deg: float) -> np.ndarray:
+    """Cosine of solar zenith angle for a sun fixed over one longitude.
+
+    The tidally locked geometry: zero declination, hour angle replaced by
+    the offset from the (permanent) subsolar meridian.  The dayside
+    hemisphere sees perpetual insolation; the nightside none.
+    """
+    dlon = lons[None, :] - np.deg2rad(subsolar_lon_deg)
+    mu = np.cos(lats[:, None]) * np.cos(dlon)
+    return np.maximum(mu, 0.0)
 
 
 def diagnose_cloud_fraction(temp: np.ndarray, q: np.ndarray, pressure: np.ndarray,
@@ -99,7 +119,7 @@ def shortwave(temp: np.ndarray, q: np.ndarray, pressure: np.ndarray,
     delta-Eddington-style; vapor absorption follows a square-root path law
     as in broadband absorptance fits.
     """
-    insolation = SOLAR_CONSTANT * cosz                              # (...,)
+    insolation = params.solar_constant * cosz                       # (...,)
     cloud = diagnose_cloud_fraction(temp, q, pressure, params)
     cloud_total = cloud.max(axis=0)                                  # max overlap
     cloud_albedo = params.cloud_albedo_max * cloud_total

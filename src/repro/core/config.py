@@ -10,11 +10,20 @@ scripts.  All knobs are independent, so any resolution in between works.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.backend import DTypePolicy, get_backend, policy_from_name
+from repro.ocean.barotropic import BarotropicParams
+from repro.ocean.mixing import PPMixingParams
 from repro.ocean.model import OceanParams
-from repro.util.constants import SECONDS_PER_DAY
+from repro.util.constants import SECONDS_PER_DAY, SOLAR_CONSTANT
+
+TOPOGRAPHY_KINDS = ("world", "aquaplanet", "paleo")
+OCEAN_MODES = ("full", "slab")
+OCEAN_INIT_KINDS = ("rest_stratified", "cold_uniform")
 
 
 @dataclass
@@ -46,6 +55,24 @@ class FoamConfig:
     dtype: str | None = None
     backend: str | None = None
 
+    # --- scenario (world-builder) knobs --------------------------------
+    # The defaults reproduce the paper's Earth exactly; each knob feeds one
+    # component constructor, so the scenario registry (repro.scenarios) can
+    # describe a whole world as a FoamConfig delta and every driver —
+    # serial, batched ensemble, concurrent rank pools — inherits it.
+    solar_constant: float = SOLAR_CONSTANT   # W m^-2 at the top of atmosphere
+    co2_ppmv: float = 355.0                  # longwave CO2 band concentration
+    rotation_factor: float = 1.0             # planetary rotation / Earth's
+    # Fixed-sun (tidally locked) insolation: the subsolar point stays pinned
+    # at this longitude (degrees) with zero declination.  None = diurnal and
+    # seasonal cycles as usual.
+    subsolar_lon_deg: float | None = None
+    topography: str = "world"                # world | aquaplanet | paleo
+    ocean_mode: str = "full"                 # full | slab (mixed layer only)
+    mixed_layer_depth: float = 50.0          # m, slab-ocean heat capacity
+    ocean_init: str = "rest_stratified"      # rest_stratified | cold_uniform
+    initial_ice_thickness: float = 0.0       # m of sea ice at t=0 (ocean-wide)
+
     @property
     def dtype_policy(self) -> DTypePolicy:
         """The resolved precision policy threaded into every component grid."""
@@ -63,6 +90,21 @@ class FoamConfig:
         if abs(self.ocean_params.dt_long - self.ocean_coupling_interval) > 1e-9:
             # Keep the two clocks consistent automatically.
             self.ocean_params.dt_long = self.ocean_coupling_interval
+        if self.topography not in TOPOGRAPHY_KINDS:
+            raise ValueError(f"topography must be one of {TOPOGRAPHY_KINDS}, "
+                             f"got {self.topography!r}")
+        if self.ocean_mode not in OCEAN_MODES:
+            raise ValueError(f"ocean_mode must be one of {OCEAN_MODES}, "
+                             f"got {self.ocean_mode!r}")
+        if self.ocean_init not in OCEAN_INIT_KINDS:
+            raise ValueError(f"ocean_init must be one of {OCEAN_INIT_KINDS}, "
+                             f"got {self.ocean_init!r}")
+        if self.rotation_factor < 0:
+            raise ValueError(f"rotation_factor must be >= 0, "
+                             f"got {self.rotation_factor}")
+        if self.solar_constant <= 0:
+            raise ValueError(f"solar_constant must be positive, "
+                             f"got {self.solar_constant}")
 
     @property
     def atm_steps_per_coupling(self) -> int:
@@ -71,6 +113,44 @@ class FoamConfig:
     @property
     def atm_steps_per_day(self) -> int:
         return int(round(SECONDS_PER_DAY / self.atm_dt))
+
+    # ------------------------------------------------------------------
+    # serialization (scenario specs, result-cache keys, restart metadata)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A plain, JSON-serializable dict of every knob (nested included).
+
+        Per-member array knobs (the ensemble driver's ``(nens, 1, 1)``
+        ``sst_clamp``) are not serializable — serialize the member configs
+        (``FoamEnsemble.member_config``) instead.
+        """
+        if isinstance(self.ocean_params.sst_clamp, np.ndarray):
+            raise ValueError(
+                "cannot serialize a per-member array sst_clamp; serialize "
+                "each member's config instead")
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FoamConfig":
+        """Rebuild a config from :meth:`to_dict` output (exact round-trip)."""
+        data = dict(data)
+        ocean = data.pop("ocean_params", None)
+        if ocean is not None and not isinstance(ocean, OceanParams):
+            ocean = dict(ocean)
+            baro = ocean.pop("barotropic", None)
+            mixing = ocean.pop("mixing", None)
+            ocean = OceanParams(
+                barotropic=(BarotropicParams(**baro) if isinstance(baro, dict)
+                            else baro or BarotropicParams()),
+                mixing=(PPMixingParams(**mixing) if isinstance(mixing, dict)
+                        else mixing or PPMixingParams()),
+                **ocean)
+        if ocean is not None:
+            data["ocean_params"] = ocean
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown FoamConfig fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 def paper_config() -> FoamConfig:

@@ -28,12 +28,15 @@ import numpy as np
 
 from repro.atmosphere.dynamics import AtmosphereState, SpectralDynamicalCore
 from repro.atmosphere.physics import PhysicsSuite
+from repro.atmosphere.physics.radiation import RadiationParams
 from repro.atmosphere.spectral import SpectralTransform, Truncation
 from repro.atmosphere.vertical import VerticalGrid
 from repro.core.config import FoamConfig, test_config
 from repro.coupler.coupler import CouplerState, FluxCoupler
-from repro.ocean.grid import OceanGrid, world_topography
+from repro.coupler.seaice import SeaIceState
+from repro.ocean.grid import OceanGrid, topography_by_name
 from repro.ocean.model import OceanForcing, OceanModel, OceanState
+from repro.ocean.slab import SlabOceanModel
 from repro.perf.profiler import profile_section
 from repro.util.constants import STEFAN_BOLTZMANN
 
@@ -83,15 +86,27 @@ class FoamModel:
         self.vgrid = VerticalGrid.ccm_like(cfg.atm_nlev, dtype=policy)
         self.dycore = SpectralDynamicalCore(self.transform, self.vgrid,
                                             dt=cfg.atm_dt,
-                                            robert=cfg.robert_filter)
-        self.physics = PhysicsSuite(radiation_interval=cfg.radiation_interval)
+                                            robert=cfg.robert_filter,
+                                            rotation_factor=cfg.rotation_factor)
+        self.physics = PhysicsSuite(
+            radiation=RadiationParams(solar_constant=cfg.solar_constant,
+                                      subsolar_lon_deg=cfg.subsolar_lon_deg,
+                                      co2_ppmv=cfg.co2_ppmv),
+            radiation_interval=cfg.radiation_interval)
 
         self.ocean_grid = OceanGrid(nx=cfg.ocn_nx, ny=cfg.ocn_ny,
-                                    nlev=cfg.ocn_nlev, dtype=policy)
+                                    nlev=cfg.ocn_nlev, dtype=policy,
+                                    rotation_factor=cfg.rotation_factor)
         if land_mask is None or depth is None:
-            land_mask, depth = world_topography(self.ocean_grid)
-        self.ocean = OceanModel(self.ocean_grid, land_mask, depth,
-                                cfg.ocean_params)
+            land_mask, depth = topography_by_name(cfg.topography)(
+                self.ocean_grid)
+        if cfg.ocean_mode == "slab":
+            self.ocean = SlabOceanModel(self.ocean_grid, land_mask, depth,
+                                        cfg.ocean_params,
+                                        mixed_layer_depth=cfg.mixed_layer_depth)
+        else:
+            self.ocean = OceanModel(self.ocean_grid, land_mask, depth,
+                                    cfg.ocean_params)
         self.coupler = FluxCoupler(self.transform.lats, cfg.atm_nlon,
                                    self.ocean_grid.lats, cfg.ocn_nx,
                                    land_mask, rng_seed=cfg.seed + 7,
@@ -101,6 +116,10 @@ class FoamModel:
         # (and nothing else constructed here) carries a member axis.
         self._ens_shape: tuple = ()
         self._reset_ocean_accumulator()
+        # Most recent coupler bookkeeping (precip/evap/runoff totals);
+        # refreshed every coupled_step so monitoring code (the scenario
+        # climatology reducer) can read it without re-running physics.
+        self.last_coupler_diagnostics = None
 
     # ------------------------------------------------------------------
     def _reset_ocean_accumulator(self) -> None:
@@ -134,8 +153,11 @@ class FoamModel:
             0.025).astype(self.policy.float_dtype, copy=False)
         if perturb is not None:
             perturb(atm)
-        ocn = self.ocean.initial_state()
+        ocn = self.ocean.initial_state(self.config.ocean_init)
         cpl = self.coupler.initial_state()
+        if self.config.initial_ice_thickness > 0.0:
+            cpl.ice = SeaIceState.uniform(~self.coupler.ocn_land_mask,
+                                          self.config.initial_ice_thickness)
         prev = atm
         curr = self.dycore._forward_start(atm)
         return FoamState(atm_prev=prev, atm_curr=curr, ocean=ocn,
@@ -400,6 +422,7 @@ class FoamModel:
             state.coupler, turb, surface, precip=precip,
             sw_sfc=phys.fluxes["sw_sfc"], lw_down=phys.fluxes["lw_down"],
             t_low1=diag.temp[-1], t_low2=diag.temp[-2], dt=dt)
+        self.last_coupler_diagnostics = _cpl_diags
 
         new_ocean = state.ocean
         new_time = state.time + dt

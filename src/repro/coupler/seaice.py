@@ -47,6 +47,21 @@ class SeaIceState:
         return cls(thickness=np.zeros((nlat, nlon)),
                    surface_temp=np.full((nlat, nlon), T_FREEZE_SEA))
 
+    @classmethod
+    def uniform(cls, ocean_mask: np.ndarray,
+                thickness: float) -> "SeaIceState":
+        """Uniform ice of ``thickness`` (m) over every ocean cell.
+
+        The snowball initial condition: the skin starts at the freezing
+        point and the thermodynamic scheme takes over from there.  A
+        thickness below ``SEAICE_MIN_THICKNESS`` leaves open water.
+        """
+        if thickness < 0:
+            raise ValueError(f"ice thickness must be >= 0, got {thickness}")
+        h = np.where(ocean_mask, float(thickness), 0.0)
+        return cls(thickness=h,
+                   surface_temp=np.full(ocean_mask.shape, T_FREEZE_SEA))
+
     @property
     def mask(self) -> np.ndarray:
         return self.thickness >= SEAICE_MIN_THICKNESS

@@ -73,6 +73,7 @@ class OceanGrid:
     lat_max_deg: float = 72.0
     total_depth: float = 5000.0
     dtype: str | DTypePolicy | None = None
+    rotation_factor: float = 1.0    # planetary rotation rate / Earth's
 
     lats: np.ndarray = field(init=False)       # (ny,), radians
     lons: np.ndarray = field(init=False)       # (nx,), radians
@@ -102,7 +103,8 @@ class OceanGrid:
         self.z_half = z_half64.astype(fdt, copy=False)
         self.z_full = (0.5 * (z_half64[:-1] + z_half64[1:])).astype(fdt, copy=False)
         self.dz = np.diff(z_half64).astype(fdt, copy=False)
-        self.f = (2.0 * OMEGA * np.sin(self.lats))[:, None].astype(fdt, copy=False)
+        self.f = (2.0 * (OMEGA * float(self.rotation_factor))
+                  * np.sin(self.lats))[:, None].astype(fdt, copy=False)
 
     @property
     def lat_degrees(self) -> np.ndarray:
@@ -182,3 +184,56 @@ def aquaplanet_topography(grid: OceanGrid) -> tuple[np.ndarray, np.ndarray]:
     land = np.zeros((grid.ny, grid.nx), dtype=bool)
     depth = np.full((grid.ny, grid.nx), grid.total_depth * 0.85)
     return land, depth
+
+
+def paleo_topography(grid: OceanGrid) -> tuple[np.ndarray, np.ndarray]:
+    """(land_mask, depth) for an idealized Pangaea-like supercontinent.
+
+    One connected landmass straddling the equator on the prime-meridian side
+    of the planet, a circumglobal Panthalassa ocean everywhere else, and a
+    shallow Tethys-style embayment biting into the eastern margin.  Built
+    from the same box primitives as :func:`world_topography`, so the shelf
+    and ridge treatment match; no polar caps, so the polar rows stay a
+    connected channel at any resolution.
+    """
+    lat = grid.lat_degrees
+    lon = grid.lon_degrees
+    land = np.zeros((grid.ny, grid.nx), dtype=bool)
+
+    # The supercontinent: widest at the equator, tapering poleward.
+    land |= _box(lat, lon, -45, 55, 330, 360)      # western lobe (wraps)
+    land |= _box(lat, lon, -45, 55, 0, 40)
+    land |= _box(lat, lon, -25, 35, 40, 65)        # equatorial bulge east
+    land |= _box(lat, lon, 20, 50, 65, 85)         # northeastern arm
+    land |= _box(lat, lon, -50, -20, 305, 335)     # southwestern arm
+
+    # The Tethys embayment: a shallow eastern bite into the bulge.
+    tethys = _box(lat, lon, -12, 15, 45, 70)
+    land &= ~tethys
+
+    depth = np.where(land, 0.0, grid.total_depth * 0.85)
+    shelf = np.zeros_like(land)
+    shelf |= np.roll(land, 1, axis=1) | np.roll(land, -1, axis=1)
+    shelf[1:] |= land[:-1]
+    shelf[:-1] |= land[1:]
+    shelf &= ~land
+    depth = np.where(shelf, 0.35 * grid.total_depth, depth)
+    depth = np.where(tethys & ~land & ~shelf, 0.15 * grid.total_depth, depth)
+    return land, depth
+
+
+#: Named topography generators (the FoamConfig ``topography`` knob).
+TOPOGRAPHIES = {
+    "world": world_topography,
+    "aquaplanet": aquaplanet_topography,
+    "paleo": paleo_topography,
+}
+
+
+def topography_by_name(name: str):
+    """The generator for a named topography (raises on unknown names)."""
+    try:
+        return TOPOGRAPHIES[name]
+    except KeyError:
+        raise ValueError(f"unknown topography {name!r}; "
+                         f"choose from {sorted(TOPOGRAPHIES)}") from None

@@ -186,6 +186,14 @@ class OceanModel:
         if kind == "rest_stratified":
             return OceanState(zero3.copy(), zero3.copy(), temp, salt,
                               z2.copy(), z2.copy(), z2.copy())
+        if kind == "cold_uniform":
+            # Snowball-style start: the whole ocean sits just above the
+            # freezing clamp, no stratification, no salinity lens.
+            cold = np.where(self.mask3d, -1.5, 0.0).astype(fdt, copy=False)
+            salt_u = np.where(self.mask3d, self.params.reference_salinity,
+                              0.0).astype(fdt, copy=False)
+            return OceanState(zero3.copy(), zero3.copy(), cold, salt_u,
+                              z2.copy(), z2.copy(), z2.copy())
         raise ValueError(f"unknown ocean initial state {kind!r}")
 
     # ------------------------------------------------------------------

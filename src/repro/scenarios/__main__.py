@@ -1,0 +1,223 @@
+"""Scenario CLI: list, describe, and run the registered worlds.
+
+Usage::
+
+    python -m repro.scenarios list [--json]
+    python -m repro.scenarios describe NAME [--json]
+    python -m repro.scenarios run NAME [--days D] [--size test|small|paper]
+                                       [--ensemble N] [--substrate S]
+                                       [--atm-ranks N] [--ocn-ranks N]
+                                       [--json]
+    python -m repro.scenarios golden [--days D] [--out PATH] [NAME ...]
+
+``run`` integrates a world and prints its climatology summary; with
+``--ensemble N`` it advances N perturbed members as one batch
+(:class:`~repro.core.ensemble.FoamEnsemble`) and reports the spread; with
+``--substrate`` (thread/process) it drives the concurrent rank-pool
+coupled driver instead of the serial loop.  ``golden`` regenerates the
+committed regression climatologies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios.climatology import (
+    GOLDEN_DAYS,
+    scenario_climatology,
+    state_metrics,
+)
+from repro.scenarios.registry import all_scenarios, get_scenario, scenario_names
+
+
+def _print(obj, as_json: bool, text: str) -> None:
+    print(json.dumps(obj, indent=2, sort_keys=True) if as_json else text)
+
+
+# ----------------------------------------------------------------------
+def cmd_list(args) -> int:
+    scenarios = all_scenarios()
+    if args.json:
+        print(json.dumps(
+            [{"name": s.name, "description": s.description,
+              "tags": list(s.tags), "knobs": s.knob_summary()}
+             for s in scenarios], indent=2))
+        return 0
+    width = max(len(s.name) for s in scenarios)
+    for s in scenarios:
+        knobs = ", ".join(f"{k}={v}" for k, v in s.knob_summary().items())
+        print(f"{s.name:<{width}}  {s.description}")
+        if knobs:
+            print(f"{'':<{width}}  knobs: {knobs}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    s = get_scenario(args.name)
+    cfg = s.config(args.size)
+    info = {"name": s.name, "description": s.description,
+            "tags": list(s.tags), "knobs": s.knob_summary(),
+            "config": cfg.to_dict()}
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{s.name}: {s.description}")
+    if s.tags:
+        print(f"  tags: {', '.join(s.tags)}")
+    for k, v in s.knob_summary().items():
+        print(f"  {k} = {v}")
+    print(f"  config ({args.size}): atm {cfg.atm_nlon}x{cfg.atm_nlat}"
+          f"x{cfg.atm_nlev} R{cfg.atm_mmax}, "
+          f"ocean {cfg.ocn_nx}x{cfg.ocn_ny}x{cfg.ocn_nlev} "
+          f"({cfg.ocean_mode})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _run_serial(scenario, args) -> dict:
+    model, state = scenario.build(args.size)
+    _, clim = scenario_climatology(model, state, days=args.days)
+    return {"mode": "serial", "climatology": clim}
+
+
+def _run_ensemble(scenario, args) -> dict:
+    from repro.core.ensemble import EnsembleConfig, FoamEnsemble
+    ens = FoamEnsemble(EnsembleConfig(
+        nens=args.ensemble, base=scenario.config(args.size),
+        ic_perturbation=args.perturb))
+    state = ens.initial_state()
+    state = ens.run_days(state, args.days)
+    members = [state_metrics(ens.model, ens.member_state(state, e))
+               for e in range(ens.nens)]
+    ts = [m["ts_global_k"] for m in members]
+    return {"mode": "ensemble", "nens": ens.nens,
+            "members": members,
+            "ts_global_k_mean": sum(ts) / len(ts),
+            "ts_spread_k": max(ts) - min(ts)}
+
+
+def _run_concurrent(scenario, args) -> dict:
+    from repro.core.foam import FoamModel
+    from repro.parallel.coupled import PoolLayout, run_concurrent_coupled
+    layout = PoolLayout(n_atm=args.atm_ranks, n_ocn=args.ocn_ranks)
+    result = run_concurrent_coupled(
+        config=scenario.config(args.size), days=args.days,
+        layout=layout, substrate=args.substrate)
+    model = FoamModel(scenario.config(args.size))
+    final = state_metrics(model, result.state)
+    final.pop("mean_ps_pa", None)
+    return {"mode": "concurrent", "substrate": result.substrate,
+            "world_size": layout.world_size, "nsteps": result.nsteps,
+            "wall_seconds": result.wall_seconds,
+            "hidden_fraction": result.hidden_fraction,
+            "final_state": final}
+
+
+def cmd_run(args) -> int:
+    scenario = get_scenario(args.name)
+    if args.ensemble and (args.substrate or args.atm_ranks != 1):
+        raise SystemExit("--ensemble and --substrate/--atm-ranks are "
+                         "mutually exclusive")
+    if args.substrate or args.atm_ranks != 1 or args.ocn_ranks != 1:
+        body = _run_concurrent(scenario, args)
+    elif args.ensemble:
+        body = _run_ensemble(scenario, args)
+    else:
+        body = _run_serial(scenario, args)
+    out = {"scenario": scenario.name, "days": args.days,
+           "size": args.size, **body}
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    print(f"{scenario.name}: {args.days} simulated days "
+          f"({args.size} resolution, {body['mode']})")
+    table = body.get("climatology") or body.get("final_state") or {}
+    for k in sorted(table):
+        print(f"  {k:<24} {table[k]:.6g}")
+    if body["mode"] == "ensemble":
+        print(f"  members                  {body['nens']}")
+        print(f"  ts_global_k_mean         {body['ts_global_k_mean']:.6g}")
+        print(f"  ts_spread_k              {body['ts_spread_k']:.3g}")
+    if body["mode"] == "concurrent":
+        print(f"  wall_seconds             {body['wall_seconds']:.3g}")
+        print(f"  hidden_fraction          {body['hidden_fraction']:.3g}")
+    return 0
+
+
+def cmd_golden(args) -> int:
+    names = args.names or scenario_names()
+    out = {"_meta": {"days": args.days, "size": "test",
+                     "command": "python -m repro.scenarios golden"},
+           "scenarios": {}}
+    for name in names:
+        model, state = get_scenario(name).build("test")
+        _, clim = scenario_climatology(model, state, days=args.days)
+        out["scenarios"][name] = clim
+        print(f"{name}: ts={clim['ts_global_k']:.3f} K  "
+              f"ice={clim['ice_fraction']:.3f}  "
+              f"precip={clim['precip_mm_day']:.3f} mm/day", file=sys.stderr)
+    text = json.dumps(out, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="FOAM scenario world-builder: list, describe, run.")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    lp = sub.add_parser("list", help="list registered scenarios")
+    lp.add_argument("--json", action="store_true")
+    lp.set_defaults(func=cmd_list)
+
+    dp = sub.add_parser("describe", help="show one scenario's knobs/config")
+    dp.add_argument("name")
+    dp.add_argument("--size", default="test",
+                    choices=("test", "small", "paper"))
+    dp.add_argument("--json", action="store_true")
+    dp.set_defaults(func=cmd_describe)
+
+    rp = sub.add_parser("run", help="integrate a scenario and summarize")
+    rp.add_argument("name")
+    rp.add_argument("--days", type=float, default=1.0)
+    rp.add_argument("--size", default="test",
+                    choices=("test", "small", "paper"))
+    rp.add_argument("--ensemble", type=int, default=0, metavar="N",
+                    help="run N perturbed members as one batch")
+    rp.add_argument("--perturb", type=float, default=1e-8,
+                    help="ensemble IC vorticity noise amplitude "
+                         "(matches the model's own 1e-8 IC noise; much "
+                         "larger values destabilize polar land caps)")
+    rp.add_argument("--substrate", default=None,
+                    choices=("thread", "process"),
+                    help="drive the concurrent rank-pool driver")
+    rp.add_argument("--atm-ranks", type=int, default=1)
+    rp.add_argument("--ocn-ranks", type=int, default=1)
+    rp.add_argument("--json", action="store_true")
+    rp.set_defaults(func=cmd_run)
+
+    gp = sub.add_parser("golden",
+                        help="regenerate the regression climatologies")
+    gp.add_argument("names", nargs="*", metavar="NAME")
+    gp.add_argument("--days", type=float, default=GOLDEN_DAYS)
+    gp.add_argument("--out", default="tests/data/scenario_climatology.json")
+    gp.set_defaults(func=cmd_golden)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

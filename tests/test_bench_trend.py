@@ -1,0 +1,134 @@
+"""Bench-trend gate tests: extraction, regression math, CLI behavior."""
+
+import json
+
+import pytest
+
+from repro.perf.trend import (
+    HEADLINES,
+    Comparison,
+    compare_report,
+    extract,
+    main,
+)
+
+
+def _write(path, data):
+    path.write_text(json.dumps(data))
+    return path
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def test_extract_dotted_paths():
+    data = {"a": {"b": {"c": 3.5}}, "top": 1}
+    assert extract(data, "a.b.c") == 3.5
+    assert extract(data, "top") == 1.0
+    with pytest.raises(KeyError, match="a.b.missing"):
+        extract(data, "a.b.missing")
+    with pytest.raises(TypeError, match="not a number"):
+        extract({"a": {"b": 1}}, "a")
+
+
+# ----------------------------------------------------------------------
+# regression math
+# ----------------------------------------------------------------------
+def test_comparison_directions():
+    slower = Comparison("r", "m", "lower", current=1.4, baseline=1.0,
+                        threshold=0.3)
+    assert slower.regressed and slower.change == pytest.approx(0.4)
+    faster = Comparison("r", "m", "lower", current=0.5, baseline=1.0,
+                        threshold=0.3)
+    assert not faster.regressed and faster.change == pytest.approx(-0.5)
+    # higher-is-better flips the sign
+    dropped = Comparison("r", "m", "higher", current=0.6, baseline=1.0,
+                         threshold=0.3)
+    assert dropped.regressed and dropped.change == pytest.approx(0.4)
+    improved = Comparison("r", "m", "higher", current=2.0, baseline=1.0,
+                          threshold=0.3)
+    assert not improved.regressed
+    # within threshold is fine in both directions
+    assert not Comparison("r", "m", "lower", 1.25, 1.0, 0.3).regressed
+    # zero baseline never divides
+    assert Comparison("r", "m", "lower", 5.0, 0.0, 0.3).change == 0.0
+    assert "worse" in dropped.describe()
+    assert "better" in improved.describe()
+
+
+def test_compare_report_uses_headlines(tmp_path):
+    current = _write(tmp_path / "BENCH_ensemble.json",
+                     {"gate": {"speedup": 1.0}})
+    baseline = _write(tmp_path / "base_BENCH_ensemble.json",
+                      {"gate": {"speedup": 2.0}})
+    (cmp,) = compare_report(current, baseline)
+    assert cmp.metric == "gate.speedup"
+    assert cmp.regressed
+    with pytest.raises(ValueError, match="no headline metrics"):
+        compare_report(_write(tmp_path / "BENCH_unknown.json", {}), baseline)
+
+
+def test_headline_registry_is_sane():
+    assert set(HEADLINES) == {"BENCH_profile", "BENCH_backend",
+                              "BENCH_coupled", "BENCH_ensemble"}
+    for metrics in HEADLINES.values():
+        assert metrics
+        assert all(d in ("lower", "higher") for d in metrics.values())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _ensemble_pair(tmp_path, current_speedup, baseline_speedup):
+    tmp_path.mkdir(exist_ok=True)
+    report = _write(tmp_path / "BENCH_ensemble.json",
+                    {"gate": {"speedup": current_speedup}})
+    bdir = tmp_path / "baselines"
+    bdir.mkdir()
+    _write(bdir / "BENCH_ensemble.json",
+           {"gate": {"speedup": baseline_speedup}})
+    return report, bdir
+
+
+def test_main_passes_and_fails(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv("FOAM_BENCH_FAST", raising=False)
+    report, bdir = _ensemble_pair(tmp_path, 2.0, 2.1)
+    assert main([str(report), "--baseline-dir", str(bdir)]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+    report, bdir = _ensemble_pair(tmp_path / "x", 1.0, 2.0)
+    assert main([str(report), "--baseline-dir", str(bdir)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_main_warn_only_modes(tmp_path, monkeypatch, capsys):
+    report, bdir = _ensemble_pair(tmp_path, 1.0, 2.0)
+    monkeypatch.delenv("FOAM_BENCH_FAST", raising=False)
+    assert main([str(report), "--baseline-dir", str(bdir),
+                 "--warn-only"]) == 0
+    assert "ignored" in capsys.readouterr().err
+    # FOAM_BENCH_FAST implies warn-only: CI's fast bench never blocks.
+    monkeypatch.setenv("FOAM_BENCH_FAST", "1")
+    assert main([str(report), "--baseline-dir", str(bdir)]) == 0
+    assert "ignored" in capsys.readouterr().err
+
+
+def test_main_missing_baseline_warns(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv("FOAM_BENCH_FAST", raising=False)
+    report = _write(tmp_path / "BENCH_ensemble.json",
+                    {"gate": {"speedup": 1.0}})
+    assert main([str(report), "--baseline-dir",
+                 str(tmp_path / "nowhere")]) == 0
+    assert "no baseline" in capsys.readouterr().err
+
+
+def test_main_update_writes_baselines(tmp_path, capsys):
+    report = _write(tmp_path / "BENCH_ensemble.json",
+                    {"gate": {"speedup": 3.0}})
+    bdir = tmp_path / "baselines"
+    assert main([str(report), "--baseline-dir", str(bdir),
+                 "--update"]) == 0
+    written = json.loads((bdir / "BENCH_ensemble.json").read_text())
+    assert written["gate"]["speedup"] == 3.0
+    # and the freshly written baseline gates clean
+    assert main([str(report), "--baseline-dir", str(bdir)]) == 0
