@@ -4,11 +4,18 @@ from repro.core.config import FoamConfig, paper_config, small_config, test_confi
 from repro.core.ensemble import (EnsembleConfig, FoamEnsemble, member_state,
                                  stack_members)
 from repro.core.foam import CoupledDiagnostics, FoamModel, FoamState
-from repro.core.history import HistoryWriter, load_history, load_restart, save_restart
+from repro.core.history import (
+    HistoryWriter,
+    load_checkpoint,
+    load_history,
+    load_restart,
+    save_restart,
+)
 
 __all__ = [
     "FoamConfig", "paper_config", "small_config", "test_config",
     "CoupledDiagnostics", "FoamModel", "FoamState",
     "EnsembleConfig", "FoamEnsemble", "stack_members", "member_state",
     "HistoryWriter", "load_history", "save_restart", "load_restart",
+    "load_checkpoint",
 ]

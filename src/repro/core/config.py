@@ -11,6 +11,9 @@ scripts.  All knobs are independent, so any resolution in between works.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -114,6 +117,24 @@ class FoamConfig:
     def atm_steps_per_day(self) -> int:
         return int(round(SECONDS_PER_DAY / self.atm_dt))
 
+    @property
+    def atm_steps_per_radiation(self) -> int:
+        return max(1, int(round(self.radiation_interval / self.atm_dt)))
+
+    @property
+    def checkpoint_boundary_steps(self) -> int:
+        """Steps between *safe* checkpoint boundaries.
+
+        A checkpoint is bitwise-resumable by a **fresh** model only where
+        every model-level transient reconstructs itself: the ocean-forcing
+        accumulator must be empty (a coupling boundary) and the radiation
+        cache must be recomputed on the next step anyway (a radiation
+        boundary).  The least common multiple of the two cadences is the
+        finest checkpoint interval the run harness accepts.
+        """
+        return math.lcm(self.atm_steps_per_coupling,
+                        self.atm_steps_per_radiation)
+
     # ------------------------------------------------------------------
     # serialization (scenario specs, result-cache keys, restart metadata)
     # ------------------------------------------------------------------
@@ -151,6 +172,20 @@ class FoamConfig:
         if unknown:
             raise ValueError(f"unknown FoamConfig fields: {sorted(unknown)}")
         return cls(**data)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 of the full configuration content.
+
+        Hashes the canonical JSON of :meth:`to_dict` (sorted keys, no
+        whitespace), so two configs hash equal iff every knob — nested
+        ocean parameters included — is equal, regardless of construction
+        order.  This is the :class:`~repro.runs.plan.RunKey` building
+        block and the stamp restart checkpoints carry so a resume onto a
+        mismatched configuration fails loudly instead of diverging.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def paper_config() -> FoamConfig:

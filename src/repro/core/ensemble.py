@@ -275,10 +275,17 @@ class FoamEnsemble:
 
     def run_days(self, state: FoamState, days: float,
                  diagnostics: CoupledDiagnostics | None = None,
-                 sst_sample_interval: float = 86400.0) -> FoamState:
-        """Integrate the whole batch for ``days`` simulated days."""
+                 sst_sample_interval: float = 86400.0,
+                 observers: tuple = ()) -> FoamState:
+        """Integrate the whole batch for ``days`` simulated days.
+
+        Runs the same harness stepping loop as the serial model;
+        observers see the *batched* state, so history snapshots carry the
+        member axis natively.
+        """
         return self.model.run_days(state, days, diagnostics=diagnostics,
-                                   sst_sample_interval=sst_sample_interval)
+                                   sst_sample_interval=sst_sample_interval,
+                                   observers=observers)
 
     def member_state(self, state: FoamState, e: int) -> FoamState:
         """Member ``e`` of a batched state as an independent serial state."""

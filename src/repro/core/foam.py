@@ -441,22 +441,25 @@ class FoamModel:
     # ------------------------------------------------------------------
     def run_days(self, state: FoamState, days: float,
                  diagnostics: CoupledDiagnostics | None = None,
-                 sst_sample_interval: float = 86400.0) -> FoamState:
-        """Integrate the coupled system for ``days`` simulated days."""
+                 sst_sample_interval: float = 86400.0,
+                 observers: tuple = ()) -> FoamState:
+        """Integrate the coupled system for ``days`` simulated days.
+
+        Delegates to the run harness's single stepping loop
+        (:func:`repro.runs.drive_steps`); ``diagnostics`` rides along as
+        the legacy SST-sampling observer and ``observers`` attaches any
+        further :class:`~repro.runs.StepObserver` s (history,
+        checkpoints).
+        """
+        from repro.runs.harness import drive_steps
+        from repro.runs.observers import CoupledDiagnosticsObserver
+
         nsteps = int(round(days * 86400.0 / self.config.atm_dt))
-        next_sample = state.time
-        for _ in range(nsteps):
-            state = self.coupled_step(state)
-            if diagnostics is not None and state.time >= next_sample:
-                sst = self.ocean.sst(state.ocean)
-                if diagnostics.sst_sum is None:
-                    diagnostics.sst_sum = np.zeros_like(np.nan_to_num(sst))
-                diagnostics.sst_sum += np.nan_to_num(sst)
-                diagnostics.sst_count += 1
-                diagnostics.history_sst.append(np.nan_to_num(sst).copy())
-                diagnostics.history_time.append(state.time)
-                next_sample += sst_sample_interval
-        return state
+        obs = tuple(observers)
+        if diagnostics is not None:
+            obs = (CoupledDiagnosticsObserver(diagnostics,
+                                              sst_sample_interval),) + obs
+        return drive_steps(self, state, nsteps, obs)
 
     # ------------------------------------------------------------------
     # budgets

@@ -260,7 +260,8 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
                            layout: PoolLayout | None = None,
                            profile: bool = False,
                            timeout: float | None = None,
-                           substrate: str | None = None) -> ConcurrentCoupledResult:
+                           substrate: str | None = None,
+                           initial_state=None) -> ConcurrentCoupledResult:
     """Run the coupled model concurrently on disjoint rank pools.
 
     ``nsteps`` overrides ``days``.  With ``profile=True`` every rank
@@ -273,7 +274,18 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
     "process"; default follows ``FOAM_COMM``).  On the process substrate
     each pool rank is a forked OS process, so ``--atm-ranks``/``--ocn-ranks``
     buy real multi-core wall-clock instead of GIL-interleaved threads.
+
+    ``initial_state`` starts the run from an existing :class:`FoamState`
+    (the run harness passes checkpointed or segment-boundary states here)
+    instead of ``model.initial_state()``.  Each rank deep-copies it, so
+    thread-substrate ranks never alias arrays.  For bitwise equivalence
+    with a continuous run, ``initial_state.time`` must sit on a safe
+    checkpoint boundary (coupling + radiation; see
+    ``FoamConfig.checkpoint_boundary_steps``) so the fresh per-rank
+    models' transient caches reconstruct identically.
     """
+    import copy
+
     from repro.core.config import test_config
     from repro.core.foam import FoamModel, FoamState
 
@@ -291,7 +303,10 @@ def run_concurrent_coupled(config=None, *, days: float = 1.0,
         role = layout.role_of(comm.rank)
         pool = comm.split(_POOL_COLORS[role])
         model = FoamModel(cfg)
-        state = model.initial_state()
+        if initial_state is not None:
+            state = copy.deepcopy(initial_state)
+        else:
+            state = model.initial_state()
         prof = Profiler(enabled=profile)
         waits: dict[str, float] = {}
         comm.barrier()                 # exclude construction from the walls

@@ -1,0 +1,170 @@
+"""Pluggable per-step hooks for the run harness.
+
+A :class:`StepObserver` sees the model and the state after every coupled
+step (and at run start/end) without owning any part of the stepping loop —
+history output, checkpointing, climatology accumulation, and the legacy
+``CoupledDiagnostics`` sampling are all observers now, so every execution
+path (serial, batched ensemble, concurrent rank pools) gets them from the
+same code.
+
+Cadenced observers derive "am I due?" from the *absolute* step index
+(``round(state.time / atm_dt)``), never from a private counter — so a run
+resumed from a checkpoint fires at exactly the step numbers the
+straight-through run would, and ``run(N)`` and ``run(k) + resume(N-k)``
+produce identical history files and checkpoint sequences.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.history import HistoryWriter, save_restart
+
+__all__ = ["StepObserver", "HistoryObserver", "CheckpointObserver",
+           "CoupledDiagnosticsObserver", "HISTORY_FIELDS", "step_index"]
+
+
+def step_index(model, state) -> int:
+    """Absolute coupled-step index of a state (0 at time zero)."""
+    return int(round(state.time / model.config.atm_dt))
+
+
+class StepObserver:
+    """Base class: override any subset of the three hooks."""
+
+    def on_start(self, model, state) -> None:
+        """Called once with the state the loop starts from."""
+
+    def on_step(self, model, state) -> None:
+        """Called after every coupled step with the new state."""
+
+    def on_end(self, model, state) -> None:
+        """Called once with the final state."""
+
+
+# ----------------------------------------------------------------------
+# history
+# ----------------------------------------------------------------------
+#: Named history field extractors: ``f(model, state) -> ndarray``.  All
+#: shapes pass through untouched, so batched states contribute their
+#: member axis natively (``(nens, ny, nx)`` snapshots -> ``(T, nens, ny,
+#: nx)`` files).
+HISTORY_FIELDS = {
+    "sst": lambda model, state: np.nan_to_num(model.ocean.sst(state.ocean)),
+    "t_sfc": lambda model, state: model.coupler.surface_state_for_atm(
+        state.coupler, model.ocean.sst(state.ocean)).t_sfc,
+    "ice_thickness": lambda model, state: state.coupler.ice.thickness,
+    "eta": lambda model, state: state.ocean.eta,
+    "soil_moisture": lambda model, state: state.coupler.hydrology.soil_moisture,
+    "snow_depth": lambda model, state: state.coupler.hydrology.snow_depth,
+}
+
+
+class HistoryObserver(StepObserver):
+    """Streams named diagnostics to a rolling :class:`HistoryWriter`.
+
+    Records every ``interval_steps`` coupled steps (by absolute step
+    index, so resumed runs continue the exact snapshot schedule) plus the
+    initial state at run start when it falls on the cadence.
+    """
+
+    def __init__(self, writer: HistoryWriter, interval_steps: int,
+                 fields: tuple[str, ...] = ("sst", "t_sfc", "ice_thickness")):
+        if interval_steps < 1:
+            raise ValueError(f"interval_steps must be >= 1, "
+                             f"got {interval_steps}")
+        unknown = set(fields) - set(HISTORY_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown history fields {sorted(unknown)}; "
+                             f"known: {sorted(HISTORY_FIELDS)}")
+        self.writer = writer
+        self.interval_steps = interval_steps
+        self.fields = tuple(fields)
+
+    def _record(self, model, state) -> None:
+        self.writer.record(state.time, **{
+            name: HISTORY_FIELDS[name](model, state) for name in self.fields})
+
+    def on_start(self, model, state) -> None:
+        # The t=0 snapshot of a fresh run; resumed runs start past it and
+        # must not re-record their checkpointed step's snapshot.
+        if step_index(model, state) == 0:
+            self._record(model, state)
+
+    def on_step(self, model, state) -> None:
+        if step_index(model, state) % self.interval_steps == 0:
+            self._record(model, state)
+
+    def on_end(self, model, state) -> None:
+        self.writer.close()
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+class CheckpointObserver(StepObserver):
+    """Writes versioned, config-hash-stamped checkpoints on a cadence.
+
+    ``interval_steps`` must be a multiple of
+    :attr:`FoamConfig.checkpoint_boundary_steps` (validated by
+    :meth:`CheckpointSpec.interval_steps`) so every file is bitwise
+    resumable by a fresh model on any substrate.
+    """
+
+    def __init__(self, directory: str | Path, interval_steps: int, *,
+                 config, meta: dict | None = None, prefix: str = "ckpt"):
+        boundary = config.checkpoint_boundary_steps
+        if interval_steps < 1 or interval_steps % boundary != 0:
+            raise ValueError(
+                f"checkpoint interval of {interval_steps} steps does not "
+                f"align with the safe boundary of {boundary} steps")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.interval_steps = interval_steps
+        self.config = config
+        self.meta = dict(meta or {})
+        self.prefix = prefix
+        self.paths: list[Path] = []
+
+    def on_step(self, model, state) -> None:
+        istep = step_index(model, state)
+        if istep % self.interval_steps == 0:
+            path = self.directory / f"{self.prefix}_{istep:08d}.npz"
+            save_restart(path, state, config=self.config,
+                         meta={**self.meta, "step": istep})
+            self.paths.append(path)
+
+
+# ----------------------------------------------------------------------
+# legacy CoupledDiagnostics sampling (FoamModel.run_days contract)
+# ----------------------------------------------------------------------
+class CoupledDiagnosticsObserver(StepObserver):
+    """Replicates the historical ``run_days(diagnostics=...)`` sampling.
+
+    Samples SST whenever ``state.time`` crosses the next multiple of
+    ``sample_interval`` past the start time — operation-for-operation the
+    loop ``run_days`` used to inline, so existing diagnostics consumers
+    see identical accumulations.
+    """
+
+    def __init__(self, diagnostics, sample_interval: float = 86400.0):
+        self.diagnostics = diagnostics
+        self.sample_interval = sample_interval
+        self._next = None
+
+    def on_start(self, model, state) -> None:
+        self._next = state.time
+
+    def on_step(self, model, state) -> None:
+        d = self.diagnostics
+        if state.time >= self._next:
+            sst = model.ocean.sst(state.ocean)
+            if d.sst_sum is None:
+                d.sst_sum = np.zeros_like(np.nan_to_num(sst))
+            d.sst_sum += np.nan_to_num(sst)
+            d.sst_count += 1
+            d.history_sst.append(np.nan_to_num(sst).copy())
+            d.history_time.append(state.time)
+            self._next += self.sample_interval

@@ -1,0 +1,157 @@
+"""Declarative run plans: one object describes a whole execution.
+
+A :class:`RunPlan` captures everything that determines a FOAM integration —
+the world (config and/or scenario), the duration, the execution mode
+(serial, batched ensemble, concurrent rank pools), the communicator
+substrate, and the output cadences (history snapshots, restart
+checkpoints).  The :class:`~repro.runs.harness.RunHarness` resolves a plan
+into a single stepping loop; nothing about the *result* depends on how the
+plan is executed (the resume/equivalence contract in ``tests/test_runs.py``
+pins serial == ensemble-member == thread-pool == process-pool bitwise).
+
+:func:`RunPlan.run_key` is the content hash the future serving tier caches
+on: it covers exactly the result-determining inputs (config, scenario,
+duration, ensemble shape) and deliberately **excludes** the execution mode,
+rank layout, substrate, and output cadences — bitwise mode-equivalence is
+what makes one cache entry valid for every way of computing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.config import FoamConfig, test_config
+
+RUN_MODES = ("serial", "ensemble", "concurrent")
+
+
+@dataclass(frozen=True)
+class HistorySpec:
+    """Streaming history output: what to record, how often, where.
+
+    ``fields`` names extractors from
+    :data:`repro.runs.observers.HISTORY_FIELDS`.  ``flush_every`` bounds
+    writer memory: that many snapshots roll to one file.
+    """
+
+    directory: str
+    interval_days: float = 0.25
+    fields: tuple[str, ...] = ("sst", "t_sfc", "ice_thickness")
+    flush_every: int = 8
+    prefix: str = "history"
+
+    def __post_init__(self):
+        if self.interval_days <= 0:
+            raise ValueError(f"history interval_days must be > 0, "
+                             f"got {self.interval_days}")
+        if not self.fields:
+            raise ValueError("history needs at least one field")
+
+    def interval_steps(self, config: FoamConfig) -> int:
+        steps = int(round(self.interval_days * 86400.0 / config.atm_dt))
+        return max(1, steps)
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Restart checkpoints: cadence and directory.
+
+    The cadence must land on *safe* boundaries
+    (:attr:`FoamConfig.checkpoint_boundary_steps` — coupling and radiation
+    boundaries coincide there), which is what makes a checkpoint bitwise
+    resumable by a fresh model on any substrate.
+    """
+
+    directory: str
+    interval_days: float = 0.5
+    prefix: str = "ckpt"
+
+    def __post_init__(self):
+        if self.interval_days <= 0:
+            raise ValueError(f"checkpoint interval_days must be > 0, "
+                             f"got {self.interval_days}")
+
+    def interval_steps(self, config: FoamConfig) -> int:
+        steps = int(round(self.interval_days * 86400.0 / config.atm_dt))
+        boundary = config.checkpoint_boundary_steps
+        if steps <= 0 or steps % boundary != 0:
+            raise ValueError(
+                f"checkpoint cadence of {self.interval_days} days "
+                f"({steps} steps) does not align with the safe checkpoint "
+                f"boundary of {boundary} steps "
+                f"({boundary * config.atm_dt / 86400.0:g} days): resumes "
+                f"would not be bitwise")
+        return steps
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A complete, declarative description of one FOAM run.
+
+    ``config`` is the base configuration (default: ``test_config()``);
+    ``scenario`` optionally names a registered world whose knobs are
+    applied on top of it.  ``mode`` selects the execution path; ``nens``
+    and ``ic_perturbation`` shape the ensemble; ``n_atm``/``n_ocn``/
+    ``substrate`` shape the concurrent rank pools.  ``history`` and
+    ``checkpoint`` attach the streaming observers.
+    """
+
+    config: FoamConfig | None = None
+    scenario: str | None = None
+    days: float = 1.0
+    mode: str = "serial"
+    nens: int = 1
+    ic_perturbation: float = 0.0
+    n_atm: int = 2
+    n_ocn: int = 1
+    substrate: str | None = None
+    history: HistorySpec | None = None
+    checkpoint: CheckpointSpec | None = None
+    #: Free-form labels stored in checkpoint metadata.
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.mode not in RUN_MODES:
+            raise ValueError(f"mode must be one of {RUN_MODES}, "
+                             f"got {self.mode!r}")
+        if self.days <= 0:
+            raise ValueError(f"days must be > 0, got {self.days}")
+        if self.nens < 1:
+            raise ValueError(f"nens must be >= 1, got {self.nens}")
+        if self.mode != "ensemble" and self.nens != 1:
+            raise ValueError(f"nens={self.nens} requires mode='ensemble'")
+        if self.mode != "concurrent" and self.substrate is not None:
+            raise ValueError("substrate only applies to mode='concurrent'")
+
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> FoamConfig:
+        """The effective :class:`FoamConfig` (scenario knobs applied)."""
+        base = self.config if self.config is not None else test_config()
+        if self.scenario is None:
+            return base
+        from repro.scenarios.registry import get_scenario
+        return get_scenario(self.scenario).config(base)
+
+    def total_steps(self, config: FoamConfig | None = None) -> int:
+        cfg = config if config is not None else self.resolved_config()
+        return max(1, int(round(self.days * 86400.0 / cfg.atm_dt)))
+
+    # ------------------------------------------------------------------
+    def run_key(self) -> str:
+        """Content hash of the result-determining inputs.
+
+        Two plans share a key iff they integrate the same world for the
+        same duration with the same ensemble shape — however they are
+        executed.  This is the serving tier's future cache key: a result
+        computed serially satisfies a concurrent request and vice versa,
+        because the execution paths are proven bitwise-equivalent.
+        """
+        cfg = self.resolved_config()
+        payload = json.dumps(
+            {"config": cfg.content_hash(), "scenario": self.scenario,
+             "days": self.days, "nens": self.nens,
+             "ic_perturbation": self.ic_perturbation},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -12,6 +12,7 @@ a run to the scalar diagnostics the per-scenario CI regression matrix pins.
 from repro.scenarios.climatology import (
     GOLDEN_DAYS,
     TOLERANCES,
+    ClimatologyObserver,
     compare_climatology,
     scenario_climatology,
     state_metrics,
@@ -28,5 +29,5 @@ __all__ = [
     "Scenario", "BASE_CONFIGS",
     "register", "get_scenario", "scenario_names", "all_scenarios",
     "scenario_climatology", "state_metrics", "compare_climatology",
-    "GOLDEN_DAYS", "TOLERANCES",
+    "ClimatologyObserver", "GOLDEN_DAYS", "TOLERANCES",
 ]

@@ -7,14 +7,21 @@ Usage::
     python -m repro.scenarios run NAME [--days D] [--size test|small|paper]
                                        [--ensemble N] [--substrate S]
                                        [--atm-ranks N] [--ocn-ranks N]
-                                       [--json]
+                                       [--checkpoint-dir DIR]
+                                       [--checkpoint-days D]
+                                       [--history-dir DIR] [--history-days D]
+                                       [--resume CKPT] [--json]
     python -m repro.scenarios golden [--days D] [--out PATH] [NAME ...]
 
-``run`` integrates a world and prints its climatology summary; with
-``--ensemble N`` it advances N perturbed members as one batch
-(:class:`~repro.core.ensemble.FoamEnsemble`) and reports the spread; with
-``--substrate`` (thread/process) it drives the concurrent rank-pool
-coupled driver instead of the serial loop.  ``golden`` regenerates the
+``run`` builds a declarative :class:`~repro.runs.RunPlan` and executes it
+through the :class:`~repro.runs.RunHarness` — the same stepping loop
+whatever the mode: serial (default, with a climatology summary),
+``--ensemble N`` (N perturbed members as one batch, spread reported), or
+``--substrate``/``--atm-ranks``/``--ocn-ranks`` (concurrent rank pools).
+``--checkpoint-dir`` streams bitwise-resumable checkpoints,
+``--history-dir`` streams rolling history files, and ``--resume CKPT``
+continues any prior run's checkpoint up to ``--days`` total — on any
+substrate, not just the one that wrote it.  ``golden`` regenerates the
 committed regression climatologies.
 """
 
@@ -24,8 +31,10 @@ import argparse
 import json
 import sys
 
+from repro.runs import CheckpointSpec, HistorySpec, RunHarness, RunPlan
 from repro.scenarios.climatology import (
     GOLDEN_DAYS,
+    ClimatologyObserver,
     scenario_climatology,
     state_metrics,
 )
@@ -76,56 +85,69 @@ def cmd_describe(args) -> int:
 
 
 # ----------------------------------------------------------------------
-def _run_serial(scenario, args) -> dict:
-    model, state = scenario.build(args.size)
-    _, clim = scenario_climatology(model, state, days=args.days)
-    return {"mode": "serial", "climatology": clim}
-
-
-def _run_ensemble(scenario, args) -> dict:
-    from repro.core.ensemble import EnsembleConfig, FoamEnsemble
-    ens = FoamEnsemble(EnsembleConfig(
-        nens=args.ensemble, base=scenario.config(args.size),
-        ic_perturbation=args.perturb))
-    state = ens.initial_state()
-    state = ens.run_days(state, args.days)
-    members = [state_metrics(ens.model, ens.member_state(state, e))
-               for e in range(ens.nens)]
-    ts = [m["ts_global_k"] for m in members]
-    return {"mode": "ensemble", "nens": ens.nens,
-            "members": members,
-            "ts_global_k_mean": sum(ts) / len(ts),
-            "ts_spread_k": max(ts) - min(ts)}
-
-
-def _run_concurrent(scenario, args) -> dict:
-    from repro.core.foam import FoamModel
-    from repro.parallel.coupled import PoolLayout, run_concurrent_coupled
-    layout = PoolLayout(n_atm=args.atm_ranks, n_ocn=args.ocn_ranks)
-    result = run_concurrent_coupled(
-        config=scenario.config(args.size), days=args.days,
-        layout=layout, substrate=args.substrate)
-    model = FoamModel(scenario.config(args.size))
-    final = state_metrics(model, result.state)
-    final.pop("mean_ps_pa", None)
-    return {"mode": "concurrent", "substrate": result.substrate,
-            "world_size": layout.world_size, "nsteps": result.nsteps,
-            "wall_seconds": result.wall_seconds,
-            "hidden_fraction": result.hidden_fraction,
-            "final_state": final}
-
-
-def cmd_run(args) -> int:
-    scenario = get_scenario(args.name)
+def _plan_from_args(scenario, args) -> RunPlan:
+    """Translate CLI flags into the declarative run plan."""
     if args.ensemble and (args.substrate or args.atm_ranks != 1):
         raise SystemExit("--ensemble and --substrate/--atm-ranks are "
                          "mutually exclusive")
     if args.substrate or args.atm_ranks != 1 or args.ocn_ranks != 1:
-        body = _run_concurrent(scenario, args)
+        mode = "concurrent"
     elif args.ensemble:
-        body = _run_ensemble(scenario, args)
+        mode = "ensemble"
     else:
-        body = _run_serial(scenario, args)
+        mode = "serial"
+    from repro.scenarios.spec import BASE_CONFIGS
+    return RunPlan(
+        config=BASE_CONFIGS[args.size](), scenario=scenario.name,
+        days=args.days, mode=mode,
+        nens=args.ensemble or 1,
+        ic_perturbation=args.perturb if args.ensemble else 0.0,
+        n_atm=args.atm_ranks, n_ocn=args.ocn_ranks,
+        substrate=args.substrate,
+        history=(HistorySpec(args.history_dir,
+                             interval_days=args.history_days)
+                 if args.history_dir else None),
+        checkpoint=(CheckpointSpec(args.checkpoint_dir,
+                                   interval_days=args.checkpoint_days)
+                    if args.checkpoint_dir else None))
+
+
+def cmd_run(args) -> int:
+    scenario = get_scenario(args.name)
+    plan = _plan_from_args(scenario, args)
+    harness = RunHarness(plan)
+    clim = ClimatologyObserver(harness.model) if plan.mode == "serial" else None
+    result = harness.run(resume_from=args.resume,
+                         observers=(clim,) if clim else ())
+
+    body: dict = {"mode": plan.mode, "run_key": result.run_key}
+    if plan.mode == "serial":
+        body["climatology"] = clim.metrics(result.state)
+    elif plan.mode == "ensemble":
+        ens = harness.ensemble
+        members = [state_metrics(ens.model, ens.member_state(result.state, e))
+                   for e in range(ens.nens)]
+        ts = [m["ts_global_k"] for m in members]
+        body.update(nens=ens.nens, members=members,
+                    ts_global_k_mean=sum(ts) / len(ts),
+                    ts_spread_k=max(ts) - min(ts))
+    else:
+        final = state_metrics(harness.model, result.state)
+        final.pop("mean_ps_pa", None)
+        body.update(substrate=result.concurrent[-1].substrate
+                    if result.concurrent else plan.substrate,
+                    world_size=plan.n_atm + 1 + plan.n_ocn,
+                    nsteps=result.steps,
+                    wall_seconds=result.wall_seconds,
+                    hidden_fraction=result.hidden_fraction,
+                    final_state=final)
+    if args.resume:
+        body["resumed_from_step"] = result.start_step
+    if result.checkpoints:
+        body["checkpoints"] = [str(p) for p in result.checkpoints]
+    if result.history_files:
+        body["history_files"] = [str(p) for p in result.history_files]
+
     out = {"scenario": scenario.name, "days": args.days,
            "size": args.size, **body}
     if args.json:
@@ -133,6 +155,9 @@ def cmd_run(args) -> int:
         return 0
     print(f"{scenario.name}: {args.days} simulated days "
           f"({args.size} resolution, {body['mode']})")
+    if args.resume:
+        print(f"  resumed from step        {result.start_step} "
+              f"({result.steps} steps run)")
     table = body.get("climatology") or body.get("final_state") or {}
     for k in sorted(table):
         print(f"  {k:<24} {table[k]:.6g}")
@@ -143,6 +168,11 @@ def cmd_run(args) -> int:
     if body["mode"] == "concurrent":
         print(f"  wall_seconds             {body['wall_seconds']:.3g}")
         print(f"  hidden_fraction          {body['hidden_fraction']:.3g}")
+    if result.checkpoints:
+        print(f"  checkpoints              {len(result.checkpoints)} "
+              f"(last: {result.checkpoints[-1]})")
+    if result.history_files:
+        print(f"  history files            {len(result.history_files)}")
     return 0
 
 
@@ -202,6 +232,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="drive the concurrent rank-pool driver")
     rp.add_argument("--atm-ranks", type=int, default=1)
     rp.add_argument("--ocn-ranks", type=int, default=1)
+    rp.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="stream bitwise-resumable checkpoints here")
+    rp.add_argument("--checkpoint-days", type=float, default=0.5,
+                    help="checkpoint cadence in simulated days (must land "
+                         "on safe coupling/radiation boundaries)")
+    rp.add_argument("--history-dir", default=None, metavar="DIR",
+                    help="stream rolling history files here")
+    rp.add_argument("--history-days", type=float, default=0.25,
+                    help="history sampling cadence in simulated days")
+    rp.add_argument("--resume", default=None, metavar="CKPT",
+                    help="resume from a checkpoint file; --days is the "
+                         "run's total duration from time zero")
     rp.add_argument("--json", action="store_true")
     rp.set_defaults(func=cmd_run)
 

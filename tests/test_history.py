@@ -1,0 +1,220 @@
+"""Streaming history writer and versioned checkpoint format.
+
+Covers the rolling-flush buffer bound, out-of-order multi-file loading,
+field-set/shape/dtype consistency enforcement, the v2 checkpoint stamps
+(config hash, run metadata, ``river_volume=None`` presence flag), legacy
+v1 file compatibility, and a hypothesis round-trip property over dtypes,
+shapes, and the batched member axis.
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FoamConfig
+from repro.core.config import test_config as _test_config
+from repro.core.foam import FoamModel
+from repro.core.history import (
+    CHECKPOINT_FORMAT_VERSION,
+    HistoryWriter,
+    load_checkpoint,
+    load_history,
+    load_restart,
+    save_restart,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FoamModel(_test_config())
+
+
+@pytest.fixture(scope="module")
+def state(model):
+    return model.initial_state()
+
+
+# ----------------------------------------------------------------------
+class TestHistoryWriter:
+    def test_auto_flush_bounds_the_buffer(self, tmp_path):
+        w = HistoryWriter(tmp_path, flush_every=3)
+        paths = []
+        for i in range(7):
+            got = w.record(float(i), sst=np.full((2, 2), float(i)))
+            if got is not None:
+                paths.append(got)
+            assert w.buffered_snapshots < 3
+        assert len(paths) == 2                 # two full buffers rolled out
+        assert w.buffered_snapshots == 1       # the 7th is still pending
+        last = w.close()
+        assert last is not None
+        assert w.close() is None               # idempotent
+        data = load_history(paths + [last])
+        assert np.array_equal(data["time"], np.arange(7.0))
+
+    def test_memory_accounting(self, tmp_path):
+        w = HistoryWriter(tmp_path)
+        w.record(0.0, sst=np.zeros((4, 4)))
+        assert w.nbytes_buffered == 4 * 4 * 8
+        assert w.snapshots_recorded == 1
+        w.close()
+        assert w.nbytes_buffered == 0
+        assert w.bytes_written > 0
+
+    def test_rejects_field_set_drift(self, tmp_path):
+        w = HistoryWriter(tmp_path)
+        w.record(0.0, sst=np.zeros(3))
+        with pytest.raises(ValueError, match="inconsistent history fields"):
+            w.record(1.0, sst=np.zeros(3), eta=np.zeros(3))
+        with pytest.raises(ValueError, match="inconsistent history fields"):
+            w.record(1.0, eta=np.zeros(3))
+
+    def test_rejects_shape_and_dtype_drift(self, tmp_path):
+        w = HistoryWriter(tmp_path)
+        w.record(0.0, sst=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="changed shape/dtype"):
+            w.record(1.0, sst=np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="changed shape/dtype"):
+            w.record(1.0, sst=np.zeros((3, 3), dtype=np.float32))
+
+    def test_rejects_empty_snapshot_and_bad_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            HistoryWriter(tmp_path, flush_every=0)
+        w = HistoryWriter(tmp_path)
+        with pytest.raises(ValueError, match="at least one field"):
+            w.record(0.0)
+
+    def test_numbering_continues_in_a_used_directory(self, tmp_path):
+        # A resumed run streaming into the directory of its first leg must
+        # append new files, not overwrite history_0000.npz.
+        w1 = HistoryWriter(tmp_path)
+        w1.record(0.0, sst=np.zeros(2))
+        first = w1.close()
+        w2 = HistoryWriter(tmp_path)
+        w2.record(1.0, sst=np.ones(2))
+        second = w2.close()
+        assert first.name == "history_0000.npz"
+        assert second.name == "history_0001.npz"
+        data = load_history([first, second])
+        assert np.array_equal(data["time"], [0.0, 1.0])
+
+
+class TestLoadHistory:
+    def _write(self, tmp_path, times, **fields):
+        w = HistoryWriter(tmp_path)
+        for i, t in enumerate(times):
+            w.record(t, **{k: v[i] for k, v in fields.items()})
+        return w.close()
+
+    def test_out_of_order_files_sort_by_time(self, tmp_path):
+        vals = np.arange(6.0).reshape(6, 1)
+        p0 = self._write(tmp_path, [0.0, 1.0], sst=vals[:2])
+        p1 = self._write(tmp_path, [2.0, 3.0], sst=vals[2:4])
+        p2 = self._write(tmp_path, [4.0, 5.0], sst=vals[4:])
+        data = load_history([p2, p0, p1])      # deliberately shuffled
+        assert np.array_equal(data["time"], np.arange(6.0))
+        assert np.array_equal(data["sst"], vals)
+
+    def test_inconsistent_field_sets_raise(self, tmp_path):
+        p0 = self._write(tmp_path / "a", [0.0], sst=np.zeros((1, 2)))
+        p1 = self._write(tmp_path / "b", [1.0], eta=np.zeros((1, 2)))
+        with pytest.raises(ValueError, match="inconsistent history files"):
+            load_history([p0, p1])
+
+    def test_empty_path_list_raises(self):
+        with pytest.raises(ValueError, match="no history files"):
+            load_history([])
+
+    def test_single_path_accepted_bare(self, tmp_path):
+        p = self._write(tmp_path, [0.0], sst=np.ones((1, 2)))
+        data = load_history(p)
+        assert data["sst"].shape == (1, 2)
+
+
+# dtype/shape/member-axis round-trip property: whatever goes into the
+# rolling writer comes back out of load_history bit-identical, in order,
+# with dtype preserved — including a leading ensemble member axis.
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64]),
+    ny=st.integers(min_value=1, max_value=4),
+    nx=st.integers(min_value=1, max_value=4),
+    nens=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    nsnap=st.integers(min_value=1, max_value=7),
+    flush_every=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_history_roundtrip_property(dtype, ny, nx, nens, nsnap,
+                                    flush_every, seed):
+    shape = (ny, nx) if nens is None else (nens, ny, nx)
+    rng = np.random.default_rng(seed)
+    snaps = [(rng.uniform(-1e6, 1e6, size=shape)).astype(dtype)
+             for _ in range(nsnap)]
+    with tempfile.TemporaryDirectory() as td:
+        w = HistoryWriter(td, flush_every=flush_every)
+        for i, snap in enumerate(snaps):
+            w.record(float(i), field=snap)
+        w.close()
+        files = sorted(Path(td).glob("history_*.npz"))
+        assert len(files) == (1 if flush_every is None
+                              else -(-nsnap // flush_every))
+        data = load_history(files)
+    assert data["field"].dtype == dtype
+    assert data["field"].shape == (nsnap, *shape)
+    assert np.array_equal(data["field"], np.stack(snaps))
+    assert np.array_equal(data["time"], np.arange(float(nsnap)))
+
+
+# ----------------------------------------------------------------------
+class TestCheckpointFormat:
+    def test_river_volume_none_roundtrips_as_none(self, tmp_path, state):
+        # v1 silently zero-filled a None river_volume; v2 stores a
+        # presence flag instead.
+        bare = dataclasses.replace(state,
+                                   coupler=dataclasses.replace(
+                                       state.coupler, river_volume=None))
+        path = save_restart(tmp_path / "r.npz", bare)
+        loaded = load_restart(path)
+        assert loaded.coupler.river_volume is None
+
+    def test_config_and_meta_stamps(self, tmp_path, state):
+        cfg = _test_config()
+        path = save_restart(tmp_path / "c.npz", state, config=cfg,
+                            meta={"run_key": "abc", "nens": 1})
+        loaded, meta = load_checkpoint(path)
+        assert meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert meta["config_hash"] == cfg.content_hash()
+        assert FoamConfig.from_dict(meta["config"]) == cfg
+        assert meta["run_key"] == "abc"
+        assert meta["nens"] == 1
+        assert np.array_equal(loaded.ocean.temp, state.ocean.temp)
+
+    def test_unstamped_checkpoint_loads_with_bare_meta(self, tmp_path,
+                                                       state):
+        path = save_restart(tmp_path / "u.npz", state)
+        _, meta = load_checkpoint(path)
+        assert meta == {"format_version": CHECKPOINT_FORMAT_VERSION}
+
+    def test_legacy_v1_file_still_loads(self, tmp_path, state):
+        # Reconstruct the pre-versioning layout: no format_version, no
+        # presence flag, river always materialized as an array.
+        path = save_restart(tmp_path / "v2.npz", state)
+        with np.load(path) as d:
+            payload = {k: d[k] for k in d.files
+                       if k not in ("format_version", "c_river_present")}
+        if "c_river" not in payload:
+            payload["c_river"] = np.zeros_like(
+                state.coupler.hydrology.soil_moisture)
+        legacy = tmp_path / "v1.npz"
+        np.savez_compressed(legacy, **payload)
+
+        loaded, meta = load_checkpoint(legacy)
+        assert meta["format_version"] == 1
+        assert loaded.coupler.river_volume is not None
+        assert np.array_equal(loaded.atm_curr.vort, state.atm_curr.vort)

@@ -1,0 +1,329 @@
+"""The run-harness contract: plans, keys, and bitwise resume everywhere.
+
+The headline test matrix: ``run(N days)`` is bitwise float64-identical to
+``run(k) -> checkpoint -> load -> run(N-k)`` across serial ==
+ensemble-member == concurrent rank pools, including resuming a serial
+checkpoint onto a concurrent substrate.  That equivalence is what makes
+:meth:`RunPlan.run_key` a valid cache key for every execution path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import FoamConfig
+from repro.core.config import test_config as _test_config
+from repro.core.history import load_checkpoint, load_history
+from repro.runs import (
+    RUN_MODES,
+    CheckpointSpec,
+    HistorySpec,
+    RunHarness,
+    RunPlan,
+)
+
+DAYS = 1.0          # total run length; checkpoint taken halfway
+CKPT_DAYS = 0.5     # the safe boundary at test size (lcm of cadences)
+
+
+def _state_pairs(a, b):
+    """All 18 prognostic/coupler fields of two coupled states."""
+    yield "vort", a.atm_curr.vort, b.atm_curr.vort
+    yield "div", a.atm_curr.div, b.atm_curr.div
+    yield "temp", a.atm_curr.temp, b.atm_curr.temp
+    yield "lnps", a.atm_curr.lnps, b.atm_curr.lnps
+    yield "q", a.atm_curr.q, b.atm_curr.q
+    yield "prev_vort", a.atm_prev.vort, b.atm_prev.vort
+    yield "ocn_u", a.ocean.u, b.ocean.u
+    yield "ocn_v", a.ocean.v, b.ocean.v
+    yield "otemp", a.ocean.temp, b.ocean.temp
+    yield "osalt", a.ocean.salt, b.ocean.salt
+    yield "eta", a.ocean.eta, b.ocean.eta
+    yield "ubar", a.ocean.ubar, b.ocean.ubar
+    yield "vbar", a.ocean.vbar, b.ocean.vbar
+    yield "soil_temp", a.coupler.land.soil_temp, b.coupler.land.soil_temp
+    yield ("soil_moisture", a.coupler.hydrology.soil_moisture,
+           b.coupler.hydrology.soil_moisture)
+    yield "snow", a.coupler.hydrology.snow_depth, b.coupler.hydrology.snow_depth
+    yield "ice", a.coupler.ice.thickness, b.coupler.ice.thickness
+    yield "river", a.coupler.river_volume, b.coupler.river_volume
+
+
+def _assert_bitwise(got, want, context=""):
+    for name, x, y in _state_pairs(got, want):
+        assert np.array_equal(np.asarray(x), np.asarray(y)), (
+            f"{context}: {name} differs, max|diff|="
+            f"{np.max(np.abs(np.asarray(x) - np.asarray(y)))}")
+    assert got.time == want.time
+
+
+def _halfway_checkpoint(result):
+    """The checkpoint a run wrote at the CKPT_DAYS boundary."""
+    cfg = result.plan.resolved_config()
+    step = int(round(CKPT_DAYS * 86400.0 / cfg.atm_dt))
+    for p in result.checkpoints:
+        if p.stem.endswith(f"{step:08d}"):
+            return p
+    raise AssertionError(
+        f"no checkpoint at step {step} among {result.checkpoints}")
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """One straight serial run of the reference plan, shared module-wide."""
+    harness = RunHarness(RunPlan(days=DAYS))
+    return harness.run()
+
+
+@pytest.fixture(scope="module")
+def serial_checkpointed(tmp_path_factory):
+    """The same run with a halfway checkpoint streamed out."""
+    td = tmp_path_factory.mktemp("ckpt_serial")
+    harness = RunHarness(RunPlan(
+        days=DAYS, checkpoint=CheckpointSpec(str(td),
+                                             interval_days=CKPT_DAYS)))
+    return harness.run()
+
+
+# ----------------------------------------------------------------------
+class TestContentHash:
+    def test_is_sha256_hex(self):
+        h = _test_config().content_hash()
+        assert len(h) == 64
+        int(h, 16)      # hex-parsable
+
+    def test_stable_across_key_ordering(self):
+        cfg = _test_config()
+        shuffled = dict(reversed(list(cfg.to_dict().items())))
+        assert FoamConfig.from_dict(shuffled).content_hash() \
+            == cfg.content_hash()
+
+    def test_changes_with_any_knob(self):
+        cfg = _test_config()
+        assert dataclasses.replace(cfg, seed=cfg.seed + 1).content_hash() \
+            != cfg.content_hash()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = _test_config().to_dict()
+        payload["not_a_knob"] = 1.0
+        with pytest.raises((ValueError, TypeError)):
+            FoamConfig.from_dict(payload)
+
+
+class TestRunKey:
+    def test_mode_invariant(self):
+        # One cache entry serves every execution path: the key covers the
+        # result-determining inputs only, never how they are computed.
+        serial = RunPlan(days=DAYS)
+        concurrent = RunPlan(days=DAYS, mode="concurrent",
+                             substrate="thread", n_atm=3)
+        assert serial.run_key() == concurrent.run_key()
+
+    def test_output_cadences_do_not_change_key(self, tmp_path):
+        plain = RunPlan(days=DAYS)
+        instrumented = RunPlan(
+            days=DAYS,
+            history=HistorySpec(str(tmp_path / "h")),
+            checkpoint=CheckpointSpec(str(tmp_path / "c")))
+        assert plain.run_key() == instrumented.run_key()
+
+    def test_result_determining_inputs_change_key(self):
+        base = RunPlan(days=DAYS)
+        assert RunPlan(days=2 * DAYS).run_key() != base.run_key()
+        assert RunPlan(days=DAYS, mode="ensemble", nens=3,
+                       ic_perturbation=1e-8).run_key() != base.run_key()
+        assert RunPlan(days=DAYS,
+                       scenario="aquaplanet").run_key() != base.run_key()
+
+
+class TestPlanValidation:
+    def test_modes(self):
+        assert RUN_MODES == ("serial", "ensemble", "concurrent")
+        with pytest.raises(ValueError):
+            RunPlan(mode="turbo")
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            RunPlan(days=0.0)
+
+    def test_nens_requires_ensemble_mode(self):
+        with pytest.raises(ValueError):
+            RunPlan(nens=3)
+
+    def test_substrate_requires_concurrent_mode(self):
+        with pytest.raises(ValueError):
+            RunPlan(substrate="thread")
+
+    def test_checkpoint_cadence_must_hit_safe_boundary(self, tmp_path):
+        cfg = _test_config()
+        # 0.25 day = 6 steps at test size: a coupling boundary but not a
+        # radiation one — a checkpoint there would not resume bitwise.
+        spec = CheckpointSpec(str(tmp_path), interval_days=0.25)
+        with pytest.raises(ValueError, match="safe checkpoint boundary"):
+            spec.interval_steps(cfg)
+        plan = RunPlan(days=DAYS, checkpoint=spec)
+        with pytest.raises(ValueError, match="safe checkpoint boundary"):
+            RunHarness(plan).run()
+
+    def test_resume_refuses_config_mismatch(self, serial_checkpointed):
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        other = dataclasses.replace(_test_config(), seed=99)
+        harness = RunHarness(RunPlan(config=other, days=DAYS))
+        with pytest.raises(ValueError, match="different[\\s\\S]*configuration"):
+            harness.run(resume_from=ckpt)
+
+    def test_resume_refuses_nens_mismatch(self, serial_checkpointed):
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        harness = RunHarness(RunPlan(days=DAYS, mode="ensemble", nens=3,
+                                     ic_perturbation=1e-8))
+        with pytest.raises(ValueError, match="nens"):
+            harness.run(resume_from=ckpt)
+
+    def test_resume_beyond_plan_duration_raises(self, serial_checkpointed):
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        harness = RunHarness(RunPlan(days=0.25))
+        with pytest.raises(ValueError, match="already"):
+            harness.run(resume_from=ckpt)
+
+
+# ----------------------------------------------------------------------
+class TestSerialResume:
+    def test_checkpointing_does_not_perturb_the_run(
+            self, serial_baseline, serial_checkpointed):
+        _assert_bitwise(serial_checkpointed.state, serial_baseline.state,
+                        "checkpointed vs plain")
+
+    def test_resume_is_bitwise(self, serial_baseline, serial_checkpointed):
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        resumed = RunHarness(RunPlan(days=DAYS)).run(resume_from=ckpt)
+        assert resumed.start_step > 0
+        assert resumed.steps + resumed.start_step \
+            == serial_baseline.steps
+        _assert_bitwise(resumed.state, serial_baseline.state,
+                        "serial resume")
+
+    def test_checkpoint_is_stamped(self, serial_checkpointed):
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        state, meta = load_checkpoint(ckpt)
+        cfg = serial_checkpointed.plan.resolved_config()
+        assert meta["format_version"] == 2
+        assert meta["config_hash"] == cfg.content_hash()
+        assert FoamConfig.from_dict(meta["config"]) == cfg
+        assert meta["run_key"] == serial_checkpointed.run_key
+        assert meta["mode"] == "serial"
+        assert meta["step"] * cfg.atm_dt == pytest.approx(state.time)
+
+
+class TestEnsembleResume:
+    NENS = 3
+
+    def _plan(self, tmp_path=None):
+        kw = {}
+        if tmp_path is not None:
+            kw["checkpoint"] = CheckpointSpec(str(tmp_path),
+                                              interval_days=CKPT_DAYS)
+        return RunPlan(days=DAYS, mode="ensemble", nens=self.NENS,
+                       ic_perturbation=1e-8, **kw)
+
+    def test_resume_is_bitwise_for_every_member(self, tmp_path):
+        straight = RunHarness(self._plan()).run()
+        ckpted = RunHarness(self._plan(tmp_path)).run()
+        _assert_bitwise(ckpted.state, straight.state,
+                        "ensemble checkpointed vs plain")
+        ckpt = _halfway_checkpoint(ckpted)
+        harness = RunHarness(self._plan())
+        resumed = harness.run(resume_from=ckpt)
+        # batched arrays carry the member axis, so bitwise equality of the
+        # stacked state is bitwise equality of every member at once
+        _assert_bitwise(resumed.state, straight.state, "ensemble resume")
+        for e in range(self.NENS):
+            got = harness.ensemble.member_state(resumed.state, e)
+            want = harness.ensemble.member_state(straight.state, e)
+            _assert_bitwise(got, want, f"member {e}")
+
+
+@pytest.mark.parallel
+class TestConcurrentResume:
+    """Rank-pool legs of the matrix; substrate follows ``FOAM_COMM``."""
+
+    def _plan(self, tmp_path=None):
+        kw = {}
+        if tmp_path is not None:
+            kw["checkpoint"] = CheckpointSpec(str(tmp_path),
+                                              interval_days=CKPT_DAYS)
+        return RunPlan(days=DAYS, mode="concurrent", **kw)
+
+    def test_concurrent_matches_serial(self, serial_baseline):
+        result = RunHarness(self._plan()).run()
+        _assert_bitwise(result.state, serial_baseline.state,
+                        "concurrent vs serial")
+
+    def test_concurrent_resume_is_bitwise(self, serial_baseline, tmp_path):
+        ckpted = RunHarness(self._plan(tmp_path)).run()
+        _assert_bitwise(ckpted.state, serial_baseline.state,
+                        "segmented concurrent vs serial")
+        ckpt = _halfway_checkpoint(ckpted)
+        resumed = RunHarness(self._plan()).run(resume_from=ckpt)
+        _assert_bitwise(resumed.state, serial_baseline.state,
+                        "concurrent resume")
+
+    def test_serial_checkpoint_resumes_on_concurrent_substrate(
+            self, serial_baseline, serial_checkpointed):
+        # The cross-substrate leg: a checkpoint written by the serial path
+        # finishes bitwise-identically on the rank pools.
+        ckpt = _halfway_checkpoint(serial_checkpointed)
+        resumed = RunHarness(self._plan()).run(resume_from=ckpt)
+        _assert_bitwise(resumed.state, serial_baseline.state,
+                        "serial ckpt -> concurrent resume")
+
+
+# ----------------------------------------------------------------------
+class TestHarnessHistory:
+    def test_serial_history_schedule_and_rolling_flush(self, tmp_path):
+        plan = RunPlan(days=DAYS, history=HistorySpec(
+            str(tmp_path), interval_days=0.25, flush_every=2,
+            fields=("sst", "eta")))
+        result = RunHarness(plan).run()
+        # 24 steps, cadence 6: snapshots at steps 0, 6, 12, 18, 24
+        assert len(result.history_files) == 3      # 2 + 2 + 1 snapshots
+        data = load_history(result.history_files)
+        assert data["time"].shape == (5,)
+        assert np.array_equal(data["time"],
+                              np.arange(5) * 0.25 * 86400.0)
+        assert data["sst"].shape[0] == 5
+        assert data["sst"].dtype == np.float64
+
+    def test_ensemble_history_carries_member_axis(self, tmp_path):
+        nens = 3
+        plan = RunPlan(days=0.5, mode="ensemble", nens=nens,
+                       ic_perturbation=1e-8,
+                       history=HistorySpec(str(tmp_path),
+                                           interval_days=0.25,
+                                           fields=("sst", "ice_thickness")))
+        harness = RunHarness(plan)
+        result = harness.run()
+        data = load_history(result.history_files)
+        model = harness.model
+        ny, nx = model.ocean.grid.ny, model.ocean.grid.nx
+        assert data["sst"].shape == (3, nens, ny, nx)
+        assert data["ice_thickness"].shape == (3, nens, ny, nx)
+
+    def test_resumed_history_continues_the_schedule(self, tmp_path):
+        spec = HistorySpec(str(tmp_path / "resumed"), interval_days=0.25,
+                           fields=("sst",))
+        ck = CheckpointSpec(str(tmp_path / "ck"), interval_days=CKPT_DAYS)
+        first = RunHarness(RunPlan(days=CKPT_DAYS, history=spec,
+                                   checkpoint=ck)).run()
+        second = RunHarness(RunPlan(days=DAYS, history=spec)).run(
+            resume_from=first.checkpoints[-1])
+        combined = load_history(first.history_files + second.history_files)
+
+        straight = RunHarness(RunPlan(days=DAYS, history=HistorySpec(
+            str(tmp_path / "straight"), interval_days=0.25,
+            fields=("sst",)))).run()
+        want = load_history(straight.history_files)
+        # same snapshot schedule, same numbers: the resumed run's history
+        # is indistinguishable from the straight-through run's
+        assert np.array_equal(combined["time"], want["time"])
+        assert np.array_equal(combined["sst"], want["sst"])

@@ -309,3 +309,26 @@ def test_cli_module_entrypoint_subprocess():
         cwd=str(Path(__file__).parent.parent))
     assert proc.returncode == 0, proc.stderr
     assert "aquaplanet" in proc.stdout
+
+
+def test_cli_checkpoint_then_resume_subprocess(tmp_path):
+    """End-to-end harness resume through the CLI, in a fresh interpreter."""
+    repo = str(Path(__file__).parent.parent)
+    ckdir = tmp_path / "ck"
+    first = subprocess.run(
+        [sys.executable, "-m", "repro.scenarios", "run", "control",
+         "--days", "0.5", "--checkpoint-dir", str(ckdir), "--json"],
+        capture_output=True, text=True, cwd=repo)
+    assert first.returncode == 0, first.stderr
+    out = json.loads(first.stdout)
+    assert out["checkpoints"], "no checkpoint written"
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.scenarios", "run", "control",
+         "--days", "1.0", "--resume", out["checkpoints"][-1], "--json"],
+        capture_output=True, text=True, cwd=repo)
+    assert resumed.returncode == 0, resumed.stderr
+    body = json.loads(resumed.stdout)
+    assert body["resumed_from_step"] == 12
+    assert body["run_key"] != out["run_key"]       # different total days
+    assert 250.0 < body["climatology"]["ts_global_k"] < 320.0
