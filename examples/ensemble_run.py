@@ -60,9 +60,10 @@ def main() -> None:
           f"-> batched speedup {sequential / batched:.2f}x")
 
     # Ensemble spread: the perturbation growth a forecaster reads first.
-    members = [ens.member_state(state, e) for e in range(args.nens)]
-    sst = np.stack([m.ocean.temp[0] for m in members])
-    t_low = np.stack([m.atm_curr.temp[-1] for m in members])
+    # The batched state already carries the member axis — read the
+    # (nens, ...) slabs directly instead of extracting member copies.
+    sst = state.ocean.temp[0]                 # (nens, ny, nx)
+    t_low = state.atm_curr.temp[-1]           # (nens, nm, nk)
     print(f"SST member spread (max over grid):        "
           f"{np.max(np.std(sst, axis=0)):.3e} K")
     print(f"lowest-level temperature spectral spread: "

@@ -194,8 +194,12 @@ class PhysicsSuite:
                                   out=ws.empty_like("phys.incr", q))
             np.maximum(q_work, 0.0, out=q_work)
 
-        total_dtdt = (t_work - temp) / dt
-        total_dqdt = (q_work - q) / dt
+        # Fresh (they escape into PhysicsTendencies); the division lands in
+        # place on the difference — same ops, one temporary fewer each.
+        total_dtdt = np.subtract(t_work, temp)
+        np.divide(total_dtdt, dt, out=total_dtdt)
+        total_dqdt = np.subtract(q_work, q)
+        np.divide(total_dqdt, dt, out=total_dqdt)
 
         fluxes = dict(fluxes)
         fluxes.update({

@@ -29,7 +29,14 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.backend import DTypePolicy, get_workspace, policy_from_name
+from repro.backend import (
+    ArrayBackend,
+    DTypePolicy,
+    get_backend,
+    get_workspace,
+    policy_from_name,
+)
+from repro.backend.kernels import SpectralKernelPlan, fused_enabled
 from repro.perf.profiler import profiled
 from repro.util.constants import EARTH_RADIUS
 
@@ -254,7 +261,8 @@ class SpectralTransform:
 
     def __init__(self, nlat: int, nlon: int, trunc: Truncation,
                  radius: float = EARTH_RADIUS,
-                 dtype: str | DTypePolicy | None = None):
+                 dtype: str | DTypePolicy | None = None,
+                 backend: str | ArrayBackend | None = None):
         if nlon < 2 * trunc.mmax + 1:
             raise ValueError(
                 f"nlon={nlon} cannot resolve m up to {trunc.mmax} without aliasing; "
@@ -298,6 +306,12 @@ class SpectralTransform:
         self._lap = lap64.astype(fdt, copy=False)
         self._invlap = inv64.astype(fdt, copy=False)
         self._rcos = (radius * np.cos(self.lats)).astype(fdt, copy=False)[:, None]
+
+        # Fused kernel plan: the transforms above as few large
+        # backend-dispatchable calls (FOAM_FUSED=0 falls back to the
+        # unfused per-call formulation kept in the methods below).
+        self.backend = get_backend(backend)
+        self._plan = SpectralKernelPlan(self)
 
     # ------------------------------------------------------------------
     @property
@@ -348,6 +362,8 @@ class SpectralTransform:
         order as the unbatched call, so batched results are bitwise
         identical to member-at-a-time calls.
         """
+        if fused_enabled():
+            return self._plan.analyze(grid)
         fm = self._fourier(grid)
         ws = get_workspace()
         spec = np.einsum("...jm,jmk->...mk", fm, self._wp,
@@ -359,6 +375,8 @@ class SpectralTransform:
     @profiled("spectral.synthesize")
     def synthesize(self, spec: np.ndarray) -> np.ndarray:
         """Spectral (..., nm, nk) -> grid (..., nlat, nlon), real."""
+        if fused_enabled():
+            return self._plan.synthesize(spec)
         ws = get_workspace()
         masked = np.multiply(spec, self._mask,
                              out=ws.empty("spectral.synth.masked",
@@ -368,6 +386,18 @@ class SpectralTransform:
                                     spec.shape[:-2] + (self.nlat, self.trunc.nm),
                                     np.result_type(spec, self.pbar)))
         return self._inverse_fourier(fm)
+
+    @profiled("spectral.synthesize")
+    def synthesize_many(self, *specs: np.ndarray) -> tuple:
+        """Synthesize several same-shape spectral fields at once.
+
+        The fused plan stacks them through a single einsum + inverse FFT;
+        the unfused fallback is plain per-field :meth:`synthesize`.  Each
+        returned grid is bitwise identical either way.
+        """
+        if fused_enabled():
+            return self._plan.synthesize_many(*specs)
+        return tuple(self.synthesize(s) for s in specs)
 
     # ------------------------------------------------------------------
     # differential operators (spectral space)
@@ -395,6 +425,8 @@ class SpectralTransform:
         Solves psi = del^-2 zeta, chi = del^-2 D, then
         U = u cos(lat) = (im chi Pbar - psi H)/a summed over n, likewise V.
         """
+        if fused_enabled():
+            return self._plan.uv_from_vortdiv(vort_spec, div_spec)
         ws = get_workspace()
         sdt = np.result_type(vort_spec, self._invlap)
         shape = vort_spec.shape
@@ -436,6 +468,8 @@ class SpectralTransform:
         D_n^m    = (1/a) sum_j w_j/2 [ im U_m Pbar - V_m H ] / (1-mu^2)
         which never differentiates on the grid (Bourke 1972).
         """
+        if fused_enabled():
+            return self._plan.vortdiv_from_uv(u, v)
         ws = get_workspace()
         cos = self.coslat[:, None]
         over_c2 = 1.0 / (cos[:, 0] ** 2)
@@ -465,6 +499,8 @@ class SpectralTransform:
         df/dx = (1/(a cos)) df/dlambda,  df/dy = (cos/a) df/dmu; the
         meridional part uses the H functions so no finite differencing occurs.
         """
+        if fused_enabled():
+            return self._plan.gradient(spec)
         ws = get_workspace()
         t1 = np.multiply(spec, self._im,
                          out=ws.empty("spectral.grad.t1", spec.shape,

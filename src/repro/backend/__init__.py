@@ -35,6 +35,11 @@ from repro.backend.core import (
     get_backend,
     register_backend,
 )
+from repro.backend.kernels import (
+    SpectralKernelPlan,
+    fused_enabled,
+    robert_filter,
+)
 from repro.backend.dtypes import (
     FLOAT32,
     FLOAT64,
@@ -60,4 +65,5 @@ __all__ = [
     "policy_from_name", "set_default_dtype",
     "Workspace", "arenas_disjoint", "get_workspace", "reset_workspaces", "workspace_enabled",
     "workspace_totals",
+    "SpectralKernelPlan", "fused_enabled", "robert_filter",
 ]

@@ -32,7 +32,17 @@ class BackendUnavailableError(RuntimeError):
 
 @runtime_checkable
 class ArrayBackend(Protocol):
-    """What a backend must provide for the model's hot paths."""
+    """What a backend must provide for the model's hot paths.
+
+    Beyond allocation, the fused kernel plans
+    (:mod:`repro.backend.kernels`) need the handful of compute ops below.
+    Every compute op accepts and returns NumPy arrays at the call
+    boundary — a backend is free to execute on its own array type
+    internally (the torch backend wraps operands zero-copy via
+    ``torch.from_numpy`` and writes results into the shared memory of the
+    ``out`` argument), so host state arrays flow through unchanged and
+    conversion happens only where a backend keeps device-resident data.
+    """
 
     name: str
 
@@ -49,9 +59,33 @@ class ArrayBackend(Protocol):
 
     def to_numpy(self, arr) -> np.ndarray: ...
 
+    # -- compute ops for the fused kernel plans ------------------------
+    def einsum(self, subscripts: str, *operands, out=None) -> Any: ...
+
+    def matmul(self, a, b, out=None) -> Any: ...
+
+    def rfft(self, x, axis: int = -1) -> Any: ...
+
+    def irfft(self, x, n: int, axis: int = -1) -> Any: ...
+
+    def where(self, cond, a, b) -> Any: ...
+
+    def multiply(self, a, b, out=None) -> Any: ...
+
+    def divide(self, a, b, out=None) -> Any: ...
+
+    def add(self, a, b, out=None) -> Any: ...
+
+    def subtract(self, a, b, out=None) -> Any: ...
+
 
 class NumpyBackend:
-    """The default backend: plain NumPy, host memory."""
+    """The default backend: plain NumPy, host memory.
+
+    The compute ops are direct aliases of the NumPy calls the kernels
+    previously issued inline, so routing through the backend is bitwise
+    neutral on the default path.
+    """
 
     name = "numpy"
 
@@ -70,6 +104,33 @@ class NumpyBackend:
 
     def to_numpy(self, arr):
         return np.asarray(arr)
+
+    def einsum(self, subscripts, *operands, out=None):
+        return np.einsum(subscripts, *operands, out=out)
+
+    def matmul(self, a, b, out=None):
+        return np.matmul(a, b, out=out)
+
+    def rfft(self, x, axis=-1):
+        return np.fft.rfft(x, axis=axis)
+
+    def irfft(self, x, n, axis=-1):
+        return np.fft.irfft(x, n=n, axis=axis)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def multiply(self, a, b, out=None):
+        return np.multiply(a, b, out=out)
+
+    def divide(self, a, b, out=None):
+        return np.divide(a, b, out=out)
+
+    def add(self, a, b, out=None):
+        return np.add(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return np.subtract(a, b, out=out)
 
 
 _NUMPY = NumpyBackend()
@@ -122,6 +183,17 @@ def _torch_factory() -> ArrayBackend:
         ) from exc
 
     class TorchBackend:  # pragma: no cover - requires torch installed
+        """CPU torch backend over shared host memory.
+
+        NumPy operands are wrapped zero-copy with ``torch.from_numpy`` and
+        results land either in the caller's ``out`` buffer (same memory)
+        or come back as a zero-copy ``.numpy()`` view, so the model's
+        NumPy-typed state flows through a coupled day with torch executing
+        the contractions, FFTs and fused elementwise chains.  Results are
+        tolerance-close (never bitwise) to the NumPy path: torch's einsum
+        and pocketfft-equivalent kernels accumulate in different orders.
+        """
+
         name = "torch"
 
         @property
@@ -135,11 +207,22 @@ def _torch_factory() -> ArrayBackend:
             return torch.zeros(shape, dtype=self._dt(dtype))
 
         def asarray(self, arr, dtype=None):
-            t = torch.as_tensor(np.asarray(arr))
+            if isinstance(arr, torch.Tensor):
+                t = arr
+            else:
+                a = np.asarray(arr)
+                # from_numpy refuses (warns on) read-only arrays — the
+                # cached Legendre plan tables are deliberately frozen.
+                if a.flags["WRITEABLE"]:
+                    t = torch.from_numpy(a)
+                else:
+                    t = torch.from_numpy(a.copy())
             return t.to(self._dt(dtype)) if dtype is not None else t
 
         def to_numpy(self, arr):
-            return arr.detach().cpu().numpy()
+            if isinstance(arr, torch.Tensor):
+                return arr.detach().cpu().numpy()
+            return np.asarray(arr)
 
         @staticmethod
         def _dt(dtype):
@@ -150,6 +233,55 @@ def _torch_factory() -> ArrayBackend:
                 np.dtype(np.complex128): torch.complex128,
             }
             return mapping[np.dtype(dtype)]
+
+        @staticmethod
+        def _wrap(a):
+            if isinstance(a, np.ndarray):
+                return torch.from_numpy(a)
+            return a  # tensors and python scalars pass through
+
+        def _finish(self, result, out):
+            if out is None:
+                return result.numpy()
+            self._wrap(out).copy_(result)
+            return out
+
+        def einsum(self, subscripts, *operands, out=None):
+            r = torch.einsum(subscripts, *[self._wrap(o) for o in operands])
+            return self._finish(r, out)
+
+        def matmul(self, a, b, out=None):
+            r = torch.matmul(self._wrap(a), self._wrap(b))
+            return self._finish(r, out)
+
+        def rfft(self, x, axis=-1):
+            return torch.fft.rfft(self._wrap(x), dim=axis).numpy()
+
+        def irfft(self, x, n, axis=-1):
+            return torch.fft.irfft(self._wrap(x), n=n, dim=axis).numpy()
+
+        def where(self, cond, a, b):
+            r = torch.where(self._wrap(cond), self._wrap(a), self._wrap(b))
+            return r.numpy()
+
+        def _binary(self, fn, a, b, out):
+            wa, wb = self._wrap(a), self._wrap(b)
+            if out is None:
+                return fn(wa, wb).numpy()
+            fn(wa, wb, out=self._wrap(out))
+            return out
+
+        def multiply(self, a, b, out=None):
+            return self._binary(torch.mul, a, b, out)
+
+        def divide(self, a, b, out=None):
+            return self._binary(torch.div, a, b, out)
+
+        def add(self, a, b, out=None):
+            return self._binary(torch.add, a, b, out)
+
+        def subtract(self, a, b, out=None):
+            return self._binary(torch.sub, a, b, out)
 
     return TorchBackend()
 
@@ -181,6 +313,49 @@ def _cupy_factory() -> ArrayBackend:
 
         def to_numpy(self, arr):
             return cupy.asnumpy(arr)
+
+        def einsum(self, subscripts, *operands, out=None):
+            r = cupy.einsum(subscripts, *map(cupy.asarray, operands))
+            if out is None:
+                return r
+            out[...] = cupy.asnumpy(r)
+            return out
+
+        def matmul(self, a, b, out=None):
+            r = cupy.matmul(cupy.asarray(a), cupy.asarray(b))
+            if out is None:
+                return r
+            out[...] = cupy.asnumpy(r)
+            return out
+
+        def rfft(self, x, axis=-1):
+            return cupy.asnumpy(cupy.fft.rfft(cupy.asarray(x), axis=axis))
+
+        def irfft(self, x, n, axis=-1):
+            return cupy.asnumpy(cupy.fft.irfft(cupy.asarray(x), n=n, axis=axis))
+
+        def where(self, cond, a, b):
+            return cupy.asnumpy(cupy.where(cupy.asarray(cond),
+                                           cupy.asarray(a), cupy.asarray(b)))
+
+        def _binary(self, fn, a, b, out):
+            r = fn(cupy.asarray(a), cupy.asarray(b))
+            if out is None:
+                return r
+            out[...] = cupy.asnumpy(r)
+            return out
+
+        def multiply(self, a, b, out=None):
+            return self._binary(cupy.multiply, a, b, out)
+
+        def divide(self, a, b, out=None):
+            return self._binary(cupy.divide, a, b, out)
+
+        def add(self, a, b, out=None):
+            return self._binary(cupy.add, a, b, out)
+
+        def subtract(self, a, b, out=None):
+            return self._binary(cupy.subtract, a, b, out)
 
     return CupyBackend()
 

@@ -99,6 +99,29 @@ class Workspace:
         buf[...] = 0
         return buf
 
+    def zeros_once(self, name: str, shape, dtype) -> np.ndarray:
+        """A buffer zeroed only at allocation; hits return it as last left.
+
+        For pad buffers whose zero region is never overwritten (e.g. the
+        inverse-FFT tail beyond the truncation), this skips the per-call
+        refill: the caller rewrites its live columns every request and the
+        zero tail persists.  With ``FOAM_WORKSPACE=0`` every request is a
+        miss, so the buffer is freshly zeroed each call and the contract
+        degrades gracefully to :meth:`zeros`.
+        """
+        shape = (shape,) if np.isscalar(shape) else tuple(shape)
+        key = (name, shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None or not workspace_enabled():
+            self.misses += 1
+            _count("ws.misses")
+            buf = np.zeros(shape, dtype=dtype)
+            self._buffers[key] = buf
+        else:
+            self.hits += 1
+            _count("ws.hits")
+        return buf
+
     def empty_like(self, name: str, arr: np.ndarray) -> np.ndarray:
         return self.empty(name, arr.shape, arr.dtype)
 

@@ -35,23 +35,43 @@ def richardson_number(u: np.ndarray, v: np.ndarray, n_sq: np.ndarray,
                       z_full: np.ndarray) -> np.ndarray:
     """Gradient Richardson number at interior interfaces: Ri = N^2 / |dU/dz|^2."""
     dz = (z_full[1:] - z_full[:-1]).reshape((-1,) + (1,) * (u.ndim - 1))
-    du = (u[1:] - u[:-1]) / dz
-    dv = (v[1:] - v[:-1]) / dz
-    shear2 = du * du + dv * dv + 1e-10
+    # Workspace-resident chain: same op sequence (difference in the field
+    # dtype, division in the promoted dtype), only the Ri quotient escapes.
+    ws = get_workspace()
+    shape = u[1:].shape
+    rdt = np.result_type(u.dtype, dz.dtype)
+    du = np.subtract(u[1:], u[:-1], out=ws.empty("mix.ri.dus", shape, u.dtype))
+    du = np.divide(du, dz, out=ws.empty("mix.ri.du", shape, rdt))
+    dv = np.subtract(v[1:], v[:-1], out=ws.empty("mix.ri.dvs", shape, v.dtype))
+    dv = np.divide(dv, dz, out=ws.empty("mix.ri.dv", shape, rdt))
+    np.multiply(du, du, out=du)
+    np.multiply(dv, dv, out=dv)
+    shear2 = np.add(du, dv, out=du)
+    np.add(shear2, 1e-10, out=shear2)
     return n_sq / shear2
 
 
 def pp_viscosity(ri: np.ndarray, p: PPMixingParams = PPMixingParams()
                  ) -> tuple[np.ndarray, np.ndarray]:
     """(viscosity, diffusivity) at interfaces from the Richardson number."""
-    ri_c = np.clip(ri, 0.0, p.ri_max)
-    denom = (1.0 + p.alpha * ri_c)
-    nu = p.nu0 / denom**p.exponent + p.nu_background
-    kappa = (p.nu0 / denom**p.exponent) / denom + p.kappa_background
+    # Workspace-resident chain with the shared ``nu0 / denom**exponent``
+    # factor computed once (it is a pure expression — bitwise identical to
+    # evaluating it twice); only the np.where outputs escape.
+    ws = get_workspace()
+    denom = np.clip(ri, 0.0, p.ri_max,
+                    out=ws.empty("mix.pp.ric", ri.shape, ri.dtype))
+    np.multiply(denom, p.alpha, out=denom)
+    np.add(denom, 1.0, out=denom)
+    shear_nu = np.power(denom, p.exponent,
+                        out=ws.empty("mix.pp.pow", ri.shape, denom.dtype))
+    np.divide(p.nu0, shear_nu, out=shear_nu)
+    kappa = np.divide(shear_nu, denom,
+                      out=ws.empty("mix.pp.kap", ri.shape, denom.dtype))
+    np.add(kappa, p.kappa_background, out=kappa)
+    nu = np.add(shear_nu, p.nu_background, out=shear_nu)
     unstable = ri < 0.0
-    kappa = np.where(unstable, p.convective_kappa, kappa)
-    nu = np.where(unstable, p.convective_kappa, nu)
-    return nu, kappa
+    return (np.where(unstable, p.convective_kappa, nu),
+            np.where(unstable, p.convective_kappa, kappa))
 
 
 def mix_column_implicit(field: np.ndarray, kappa_half: np.ndarray,

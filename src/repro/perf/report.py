@@ -34,6 +34,41 @@ from repro.perf.costmodel import (
 from repro.perf.profiler import RunProfile, enable_profiling, take_profile
 
 
+def kernel_cache_stats() -> dict:
+    """Kernel-cache health: Legendre plan builds/hits + workspace totals.
+
+    Snapshotted into profile metadata so ``--json`` output (and saved
+    profiles) carry the cache counters alongside the section table.
+    """
+    from repro.atmosphere.spectral import legendre_plan_stats
+    from repro.backend import fused_enabled, workspace_totals
+
+    return {"legendre_plan": legendre_plan_stats(),
+            "workspace": workspace_totals(),
+            "fused": fused_enabled()}
+
+
+def format_kernel_caches(profile: RunProfile) -> str:
+    """Render the kernel-cache health block from profile metadata."""
+    stats = (profile.meta or {}).get("kernel_caches")
+    if not stats:
+        return "kernel caches: not recorded in this profile"
+    plan = stats.get("legendre_plan", {})
+    ws = stats.get("workspace", {})
+    req = ws.get("hits", 0) + ws.get("misses", 0)
+    hit_rate = ws.get("hits", 0) / req if req else 0.0
+    return "\n".join([
+        "kernel caches "
+        f"(fused kernels {'on' if stats.get('fused') else 'off'}):",
+        f"  legendre plans   {plan.get('builds', 0)} built, "
+        f"{plan.get('hits', 0)} cache hits",
+        f"  workspace        {ws.get('hits', 0)} hits / "
+        f"{ws.get('misses', 0)} misses ({hit_rate:.1%} hit rate), "
+        f"{ws.get('buffers', 0)} buffers, "
+        f"{ws.get('nbytes', 0) / 1e6:.1f} MB resident",
+    ])
+
+
 def profile_coupled_run(days: float = 1.0, config: str = "test",
                         seed: int | None = None,
                         dtype: str | None = None,
@@ -84,7 +119,8 @@ def profile_coupled_run(days: float = 1.0, config: str = "test",
               "atm_grid": [cfg.atm_nlat, cfg.atm_nlon, cfg.atm_nlev],
               "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev],
               "dtype": cfg.dtype_policy.name,
-              "backend": cfg.array_backend().name})
+              "backend": cfg.array_backend().name,
+              "kernel_caches": kernel_cache_stats()})
 
 
 def profile_ensemble_run(days: float = 1.0, config: str = "test",
@@ -135,7 +171,8 @@ def profile_ensemble_run(days: float = 1.0, config: str = "test",
               "atm_grid": [cfg.atm_nlat, cfg.atm_nlon, cfg.atm_nlev],
               "ocn_grid": [cfg.ocn_ny, cfg.ocn_nx, cfg.ocn_nlev],
               "dtype": cfg.dtype_policy.name,
-              "backend": cfg.array_backend().name})
+              "backend": cfg.array_backend().name,
+              "kernel_caches": kernel_cache_stats()})
 
 
 def profile_concurrent_run(days: float = 1.0, config: str = "test",
@@ -293,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_concurrent_calibration(profile, args.atm_ranks))
     else:
         print(format_calibration(profile))
+    print()
+    print(format_kernel_caches(profile))
 
     if args.json is not None:
         profile.save(args.json)

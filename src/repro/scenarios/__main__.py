@@ -35,6 +35,7 @@ from repro.runs import CheckpointSpec, HistorySpec, RunHarness, RunPlan
 from repro.scenarios.climatology import (
     GOLDEN_DAYS,
     ClimatologyObserver,
+    ensemble_member_metrics,
     scenario_climatology,
     state_metrics,
 )
@@ -125,8 +126,9 @@ def cmd_run(args) -> int:
         body["climatology"] = clim.metrics(result.state)
     elif plan.mode == "ensemble":
         ens = harness.ensemble
-        members = [state_metrics(ens.model, ens.member_state(result.state, e))
-                   for e in range(ens.nens)]
+        # One batched diagnose over the (nens, ...) state — no per-member
+        # member_state extraction.
+        members = ensemble_member_metrics(ens.model, result.state)
         ts = [m["ts_global_k"] for m in members]
         body.update(nens=ens.nens, members=members,
                     ts_global_k_mean=sum(ts) / len(ts),

@@ -73,6 +73,45 @@ def state_metrics(model: FoamModel, state: FoamState) -> dict:
     }
 
 
+def ensemble_member_metrics(model: FoamModel, state: FoamState) -> list[dict]:
+    """Per-member scalar diagnostics of a batched ensemble state.
+
+    The batched-state equivalent of calling :func:`state_metrics` on each
+    ``member_state`` extraction: ONE batched diagnose/synthesis pass over
+    the whole (level, member) stack, per-member reductions at the end.
+    Extracting members first costs nens full serial spectral diagnoses
+    plus a deep copy of every field; this costs one batched diagnose.
+    """
+    from repro.util.constants import RHO_SEAWATER
+
+    w = _area_weights(model)
+    sst = model.ocean.sst(state.ocean)                   # (E, ny, nx)
+    surface = model.coupler.surface_state_for_atm(state.coupler, sst)
+    oa = _ocean_areas(model)
+    oa_total = oa.sum()
+    diag = model.dycore.diagnose(state.atm_curr)         # member axis after level
+    dsig = model.dycore.vg.dsigma.reshape((-1,) + (1,) * diag.ps.ndim)
+    wdp = dsig * diag.ps[None] * w                       # (L, E, nlat, nlon)
+    hax = (-2, -1)
+    ts = np.sum(surface.t_sfc * w, axis=hax)
+    t_atm = (np.sum(diag.temp * wdp, axis=(0,) + hax)
+             / np.sum(wdp, axis=(0,) + hax))
+    sst_mean = np.sum(np.nan_to_num(sst) * oa, axis=hax) / oa_total
+    ice = np.sum(np.where(state.coupler.ice.mask, oa, 0.0), axis=hax) / oa_total
+    u, v = model.ocean.total_velocity(state.ocean)       # (L, E, ny, nx)
+    vol = model.ocean.dz3d[:, None] * model.ocean.grid.cell_areas()[None, None]
+    ke = 0.5 * RHO_SEAWATER * np.sum((u**2 + v**2) * vol, axis=(0,) + hax)
+    ps = np.sum(diag.ps * w, axis=hax)
+    return [{
+        "ts_global_k": float(ts[e]),
+        "t_atm_k": float(t_atm[e]),
+        "sst_ocean_c": float(sst_mean[e]),
+        "ice_fraction": float(ice[e]),
+        "ocean_ke_j": float(ke[e]),
+        "mean_ps_pa": float(ps[e]),
+    } for e in range(ts.shape[0])]
+
+
 def _ocean_heat_content(model: FoamModel, state: FoamState) -> float:
     from repro.core.diagnostics import ocean_heat_content
     return ocean_heat_content(state.ocean.temp, model.ocean.dz3d,

@@ -71,7 +71,7 @@ def test_compare_report_uses_headlines(tmp_path):
 def test_headline_registry_is_sane():
     assert set(HEADLINES) == {"BENCH_profile", "BENCH_backend",
                               "BENCH_coupled", "BENCH_ensemble",
-                              "BENCH_history"}
+                              "BENCH_kernels", "BENCH_history"}
     for metrics in HEADLINES.values():
         assert metrics
         assert all(d in ("lower", "higher") for d in metrics.values())
